@@ -1,0 +1,62 @@
+"""Experiment E7 — the paper's litmus executions, end to end.
+
+Checks that each litmus execution (Figures 1–4 and the Appendix C
+reconstructions) produces exactly the qualitative result the paper
+describes, and benchmarks vindication on each.
+"""
+
+import pytest
+
+from repro.analysis.races import RaceClass
+from repro.vindicate.vindicator import Verdict, Vindicator
+from repro.traces import litmus
+
+from harness import write_result
+
+#: name -> (transitive_force, expected per-analysis dynamic counts,
+#:          expected verdict multiset of vindicate-all)
+EXPECTATIONS = {
+    "figure1": (True, (0, 1, 1), {Verdict.RACE: 1}),
+    "figure2": (True, (0, 0, 1), {Verdict.RACE: 1}),
+    "figure3": (True, (1, 1, 2), {Verdict.RACE: 2}),
+    "retry_case": (True, (2, 2, 3), {Verdict.RACE: 3}),
+    "figure4a": (False, (3, 3, 3), {Verdict.RACE: 2, Verdict.NO_RACE: 1}),
+    "figure4b": (False, (3, 3, 3), {Verdict.RACE: 2, Verdict.NO_RACE: 1}),
+    "appendix_c_greedy": (True, (3, 3, 3), {Verdict.RACE: 3}),
+    "appendix_c_incomplete": (True, (3, 3, 3),
+                              {Verdict.RACE: 2, Verdict.UNKNOWN: 1}),
+    "wcp_deadlock": (True, (0, 1, 1), {Verdict.NO_RACE: 1}),
+}
+
+
+def run_litmus(name):
+    transitive, _, _ = EXPECTATIONS[name]
+    trace = litmus.ALL[name]()
+    vindicator = Vindicator(vindicate_all=True, transitive_force=transitive)
+    return vindicator.run(trace)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_litmus(name, benchmark):
+    transitive, counts, verdicts = EXPECTATIONS[name]
+    report = run_litmus(name)
+    assert (report.hb.dynamic_count, report.wcp.dynamic_count,
+            report.dc.dynamic_count) == counts, name
+    observed = {}
+    for v in report.vindications:
+        observed[v.verdict] = observed.get(v.verdict, 0) + 1
+    assert observed == verdicts, name
+    benchmark(lambda: run_litmus(name))
+
+
+def test_litmus_summary(benchmark):
+    lines = ["Litmus executions (paper figures) — who detects what:",
+             f"{'trace':18s} | {'HB':>3s} {'WCP':>4s} {'DC':>3s} | verdicts"]
+    for name in sorted(EXPECTATIONS):
+        report = run_litmus(name)
+        verdicts = ", ".join(str(v.verdict) for v in report.vindications)
+        lines.append(f"{name:18s} | {report.hb.dynamic_count:3d} "
+                     f"{report.wcp.dynamic_count:4d} "
+                     f"{report.dc.dynamic_count:3d} | {verdicts}")
+    write_result("litmus.txt", "\n".join(lines))
+    benchmark(lambda: run_litmus("figure2"))

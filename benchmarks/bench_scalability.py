@@ -1,0 +1,64 @@
+"""Experiment E8 — scalability: full-execution analysis, growing traces.
+
+The paper's core engineering claim is *unbounded* operation: unlike
+bounded-window predictive analyses, DC analysis and VindicateRace scale
+to full program executions. This bench grows the xalan-analog trace and
+reports end-to-end cost; the shape to verify is that analysis stays
+linear in trace length and per-race vindication stays polynomial and
+practical, with the paper's window optimisation cutting vindication
+substantially at larger scales.
+"""
+
+import time
+
+from repro.runtime import execute, fast_path_filter
+from repro.runtime.workloads import WORKLOADS
+from repro.vindicate.vindicator import Verdict, Vindicator
+
+from harness import write_result
+
+SCALES = (1.0, 3.0, 9.0)
+
+
+def run_at_scale(scale, use_window):
+    trace = execute(WORKLOADS["xalan"](scale=scale), seed=1)
+    filtered, _ = fast_path_filter(trace)
+    start = time.perf_counter()
+    report = Vindicator(use_window=use_window).run(filtered)
+    total = time.perf_counter() - start
+    assert all(v.verdict is Verdict.RACE for v in report.vindications)
+    races = max(1, len(report.vindications))
+    return {
+        "events": len(filtered),
+        "analysis": report.analysis_seconds,
+        "vindication": report.vindication_seconds,
+        "per_race_ms": report.vindication_seconds / races * 1e3,
+        "races": len(report.vindications),
+        "total": total,
+    }
+
+
+def test_scalability(benchmark):
+    rows = []
+    for scale in SCALES:
+        plain = run_at_scale(scale, use_window=False)
+        windowed = run_at_scale(scale, use_window=True)
+        rows.append((scale, plain, windowed))
+    lines = ["Scalability: xalan-analog, growing trace length",
+             f"{'scale':>5s} | {'events':>7s} | {'analysis':>9s} | "
+             f"{'vindicate':>9s} | {'windowed':>9s} | {'races':>5s} | "
+             f"{'ms/race':>8s}"]
+    for scale, plain, windowed in rows:
+        lines.append(
+            f"{scale:5.1f} | {plain['events']:7d} | {plain['analysis']:8.2f}s "
+            f"| {plain['vindication']:8.2f}s | {windowed['vindication']:8.2f}s "
+            f"| {plain['races']:5d} | {plain['per_race_ms']:8.1f}")
+    write_result("scalability.txt", "\n".join(lines))
+
+    # Analysis must scale ~linearly: events/sec within 4x across scales.
+    small, large = rows[0][1], rows[-1][1]
+    small_rate = small["events"] / max(small["analysis"], 1e-9)
+    large_rate = large["events"] / max(large["analysis"], 1e-9)
+    assert large_rate > small_rate / 4
+
+    benchmark(lambda: run_at_scale(1.0, use_window=True))

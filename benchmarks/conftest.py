@@ -1,0 +1,14 @@
+"""Pytest fixtures for the benchmark harness (see harness.py)."""
+
+from typing import Dict
+
+import pytest
+
+from harness import WorkloadRun, run_workload
+from repro.runtime.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="session")
+def workload_runs() -> Dict[str, WorkloadRun]:
+    """All workloads × trials, analysed end to end (computed once)."""
+    return {name: run_workload(name) for name in WORKLOADS}

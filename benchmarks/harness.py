@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+The paper's evaluation methodology (Section 6.2) runs each DaCapo
+program for 10 trials and averages; this harness does the same with the
+DaCapo-analog workloads, each trial using a different scheduler seed.
+All per-trial Vindicator reports are computed once per session and
+shared by every table/figure generator. Result tables are printed and
+also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.runtime import execute, fast_path_filter
+from repro.runtime.workloads import WORKLOADS
+from repro.vindicate.vindicator import Vindicator, VindicatorReport
+
+#: Trials per workload (the paper uses 10).
+TRIALS = 10
+#: Workload size multiplier (keeps full-harness runtime in minutes).
+SCALE = 0.6
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@dataclass
+class WorkloadRun:
+    """One workload's trials: traces and their Vindicator reports."""
+
+    name: str
+    reports: List[VindicatorReport]
+    fast_path_rates: List[float]
+
+
+def run_workload(name: str, trials: int = TRIALS,
+                 scale: float = SCALE) -> WorkloadRun:
+    """Execute and analyse one workload for ``trials`` seeds."""
+    factory = WORKLOADS[name]
+    reports, rates = [], []
+    for seed in range(trials):
+        trace = execute(factory(scale=scale), seed=seed)
+        filtered, stats = fast_path_filter(trace)
+        reports.append(Vindicator().run(filtered))
+        rates.append(stats.hit_rate)
+    return WorkloadRun(name=name, reports=reports, fast_path_rates=rates)
+
+
+def write_result(filename: str, content: str) -> None:
+    """Write a result table under ``benchmarks/results/`` and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(content, encoding="utf-8")
+    print(f"\n[written to {path}]\n{content}")

@@ -1,0 +1,62 @@
+"""Offline analysis: vindicate a trace captured by another tool.
+
+Predictive race detection does not need to run inside the program under
+test: any tool that can log memory accesses and synchronisation
+operations can hand the log to this library. This example writes a
+trace in the plain-text interchange format, re-loads it, and runs the
+pipeline — the same flow as ``vindicator analyze <file>`` on the
+command line.
+
+Run with::
+
+    python examples/offline_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Vindicator
+from repro.traces.io import dump_trace, load_trace
+from repro.traces.litmus import figure1
+
+TRACE_TEXT = """\
+# A trace as another tool might have logged it: one event per line,
+# '<thread> <op> <target> [source-location]'.
+req-1 wr   sessionMap   SessionStore.put():88
+req-1 acq  storeLock
+req-1 wr   storeStats   SessionStore.put():91
+req-1 rel  storeLock
+req-2 acq  storeLock
+req-2 rd   storeEpoch   SessionStore.sweep():130
+req-2 rel  storeLock
+req-2 rd   sessionMap   SessionStore.sweep():134
+"""
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-offline-"))
+
+    # 1. A trace arriving as text (e.g. from an instrumentation agent).
+    incoming = workdir / "captured.trace"
+    incoming.write_text(TRACE_TEXT, encoding="utf-8")
+    trace = load_trace(incoming)
+    print(f"loaded {incoming.name}: {len(trace)} events, "
+          f"threads {trace.threads}")
+
+    report = Vindicator(vindicate_all=True).run(trace)
+    print(report.summary())
+    print()
+
+    # 2. Round-tripping traces the library produced (litmus, workloads,
+    #    scheduler output) works the same way.
+    exported = workdir / "figure1.trace"
+    dump_trace(figure1(), exported)
+    reloaded = load_trace(exported)
+    report2 = Vindicator(vindicate_all=True).run(reloaded)
+    print(f"re-analyzed {exported.name}: "
+          f"{report2.wcp.dynamic_count} WCP-race(s), "
+          f"verdicts {[str(v.verdict) for v in report2.vindications]}")
+
+
+if __name__ == "__main__":
+    main()

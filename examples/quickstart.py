@@ -1,0 +1,59 @@
+"""Quickstart: predict a data race that happens-before detection misses.
+
+Builds the paper's Figure 2 execution by hand, runs the full Vindicator
+pipeline (HB + WCP + DC analyses, then VINDICATERACE on the DC-only
+race), and prints the correctly reordered witness trace that proves the
+race can really happen.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import TraceBuilder, Vindicator
+from repro.traces.render import render_witness
+
+# The observed execution: thread 1 writes x before publishing y under
+# lock o; thread 2 consumes y and then passes through lock m; thread 3
+# passes through m and reads x. No two conflicting accesses are adjacent
+# here — but they could be, in a different (legal) schedule.
+trace = (TraceBuilder()
+         .wr(1, "x", loc="Init.setup():12")
+         .acq(1, "o")
+         .wr(1, "y", loc="Init.publish():15")
+         .rel(1, "o")
+         .acq(2, "o")
+         .rd(2, "y", loc="Worker.consume():31")
+         .rel(2, "o")
+         .acq(2, "m")
+         .rel(2, "m")
+         .acq(3, "m")
+         .rel(3, "m")
+         .rd(3, "x", loc="Reporter.dump():44")
+         .build())
+
+
+def main() -> None:
+    report = Vindicator().run(trace)
+
+    print("Per-analysis results (same trace):")
+    for analysis in (report.hb, report.wcp, report.dc):
+        print(f"  {analysis}")
+    print()
+    print("HB and WCP see nothing; DC predicts a race and VindicateRace")
+    print("proves it by constructing a correctly reordered execution:")
+    print()
+    for vindication in report.vindications:
+        print(f"  {vindication.race}")
+        print(f"  verdict: {vindication.verdict}")
+        print("  witness (a legal schedule with the racing accesses "
+              "back to back):")
+        assert vindication.witness is not None
+        for line in render_witness(vindication.witness,
+                                   vindication.race.first,
+                                   vindication.race.second).splitlines():
+            print(f"    {line}")
+
+
+if __name__ == "__main__":
+    main()

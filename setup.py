@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables
+`pip install -e .` / `python setup.py develop` on minimal toolchains.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Race detection analyses: HB, WCP, DC (online) and reference engines."""
+
+from repro.analysis.base import AccessHistory, Detector
+from repro.analysis.hb import HBDetector
+from repro.analysis.fasttrack import FastTrackDetector
+from repro.analysis.wcp import WCPDetector
+from repro.analysis.dc import DCDetector
+from repro.analysis.races import (
+    DynamicRace,
+    RaceClass,
+    RaceReport,
+    classify,
+    static_races,
+)
+from repro.analysis.reference import ReferenceAnalysis
+
+__all__ = [
+    "AccessHistory",
+    "DCDetector",
+    "Detector",
+    "DynamicRace",
+    "FastTrackDetector",
+    "HBDetector",
+    "RaceClass",
+    "RaceReport",
+    "ReferenceAnalysis",
+    "WCPDetector",
+    "classify",
+    "static_races",
+]

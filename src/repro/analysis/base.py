@@ -1,0 +1,226 @@
+"""Detector framework shared by the HB, WCP, and DC analyses.
+
+Every online analysis processes a trace event-by-event, maintaining a
+per-thread vector clock whose meaning is "the events ordered before this
+thread's next event" under the analysis's relation (∪ PO for relations
+that do not already include program order). The race check and the
+access-history bookkeeping are identical across analyses, so they live
+here; subclasses supply the clock updates that define the relation.
+
+Following the paper's implementation notes (Section 6.1):
+
+* at an access, the detector records at most one dynamic race — the
+  "shortest" one, i.e. against the racing prior access with maximal
+  timestamp;
+* after reporting a race between ``e1`` and ``e2``, the detector forces
+  ``e1 ≺ e2`` so later races are not dependent on earlier ones.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.events import Event, EventKind, Target, Tid
+from repro.core.trace import Trace
+from repro.core.vectorclock import VectorClock
+from repro.analysis.races import DynamicRace, RaceReport
+
+
+@dataclass
+class AccessHistory:
+    """Last read and last write of one variable, per thread.
+
+    Each entry carries the analysis clock snapshot taken at the access,
+    so that forcing the order of a detected race can join the earlier
+    access's *full* clock — making forced ordering transitive, which is
+    what actually prevents later races from being dependent on earlier
+    ones (Section 6.1, "Handling DC-races").
+    """
+
+    last_write: Dict[Tid, Tuple[Event, VectorClock]] = field(default_factory=dict)
+    last_read: Dict[Tid, Tuple[Event, VectorClock]] = field(default_factory=dict)
+
+
+class Detector(abc.ABC):
+    """Base class for online race detectors.
+
+    Subclasses set :attr:`relation` and implement the event hooks that
+    define the relation's clock updates. The base class provides event
+    dispatch, the access history, the race check, and race recording.
+    """
+
+    #: Relation name, e.g. ``"HB"``; set by subclasses.
+    relation: str = "?"
+
+    def __init__(self):
+        self.trace: Optional[Trace] = None
+        self.report: Optional[RaceReport] = None
+        self._history: Dict[Target, AccessHistory] = {}
+        #: After reporting a race, force the pair's ordering (Section 6.1).
+        #: The differential tests disable this to compare the detector's
+        #: clocks against the pure relation computed by the reference
+        #: engines.
+        self.force_order = True
+        #: Transitive forcing (default): join the earlier access's clock
+        #: snapshot, so later races can never be dependent on earlier
+        #: ones — with this on, dependent false DC-races are *suppressed*
+        #: (the paper's experience: every reported DC-race was true).
+        #: With it off, forcing bumps only the racing component (as an
+        #: epoch-based implementation would); dependent DC-races then
+        #: surface and VindicateRace refutes them with constraint cycles.
+        self.transitive_force = True
+        #: For each access event that raced: the eids of *all* racing prior
+        #: accesses (not just the recorded shortest one). The combined
+        #: Vindicator pipeline uses this to decide whether a DC-race pair
+        #: is also unordered under HB / WCP.
+        self.racing_at: Dict[int, frozenset] = {}
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def analyze(self, trace: Trace) -> RaceReport:
+        """Run the detector over ``trace`` and return its race report."""
+        self.begin_trace(trace)
+        for event in trace:
+            self.handle(event)
+        return self.finish()
+
+    def begin_trace(self, trace: Trace) -> None:
+        """Reset state and bind the detector to ``trace`` (streaming API:
+        call this, then :meth:`handle` per event, then :meth:`finish`)."""
+        self.trace = trace
+        self.report = RaceReport(relation=self.relation)
+        self._history = {}
+        self.racing_at = {}
+
+    def finish(self) -> RaceReport:
+        """Return the report for the trace processed so far."""
+        assert self.report is not None, "begin_trace was never called"
+        return self.report
+
+    def handle(self, event: Event) -> None:
+        """Dispatch one event to its kind-specific hook."""
+        kind = event.kind
+        if kind is EventKind.READ:
+            self.on_read(event)
+        elif kind is EventKind.WRITE:
+            self.on_write(event)
+        elif kind is EventKind.ACQUIRE:
+            self.on_acquire(event)
+        elif kind is EventKind.RELEASE:
+            self.on_release(event)
+        elif kind is EventKind.FORK:
+            self.on_fork(event)
+        elif kind is EventKind.JOIN:
+            self.on_join(event)
+        elif kind is EventKind.VOLATILE_WRITE:
+            self.on_volatile_write(event)
+        elif kind is EventKind.VOLATILE_READ:
+            self.on_volatile_read(event)
+        elif kind is EventKind.BEGIN:
+            self.on_begin(event)
+        elif kind is EventKind.END:
+            self.on_end(event)
+
+    # ------------------------------------------------------------------
+    # Hooks (subclasses override the ones their relation cares about)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_read(self, e: Event) -> None: ...
+
+    @abc.abstractmethod
+    def on_write(self, e: Event) -> None: ...
+
+    @abc.abstractmethod
+    def on_acquire(self, e: Event) -> None: ...
+
+    @abc.abstractmethod
+    def on_release(self, e: Event) -> None: ...
+
+    def on_fork(self, e: Event) -> None:  # pragma: no cover - overridden
+        pass
+
+    def on_join(self, e: Event) -> None:  # pragma: no cover - overridden
+        pass
+
+    def on_volatile_write(self, e: Event) -> None:
+        pass
+
+    def on_volatile_read(self, e: Event) -> None:
+        pass
+
+    def on_begin(self, e: Event) -> None:
+        pass
+
+    def on_end(self, e: Event) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # Ordering queries (used by the combined pipeline for classification)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def ordered_to_current(self, prior: Event, tid: Tid) -> bool:
+        """Is ``prior`` ordered (under this relation ∪ PO) before the next
+        event of thread ``tid``, given the trace prefix processed so far?"""
+
+    def on_forced_order(self, prior: Event, e: Event) -> None:
+        """Called when a detected race forces ``prior ≺ e`` (Section 6.1);
+        graph-building detectors override this to mirror the forced
+        ordering as a constraint-graph edge."""
+
+    # ------------------------------------------------------------------
+    # Shared race check
+    # ------------------------------------------------------------------
+    def check_access(self, e: Event, clock: VectorClock) -> Optional[DynamicRace]:
+        """Race-check access ``e`` against the variable's history, update
+        the history, and record at most one (shortest) dynamic race.
+
+        ``clock`` is the executing thread's analysis clock; a prior access
+        by thread ``u`` with thread-local time above ``clock[u]`` is
+        unordered and therefore racing. After reporting, all racing priors
+        are force-ordered into ``clock`` so subsequent races are
+        independent (Section 6.1, "Handling DC-races").
+        """
+        assert self.trace is not None
+        history = self._history.setdefault(e.target, AccessHistory())
+        racing: List[Tuple[Event, VectorClock]] = []
+        local_time = self.trace.local_time
+        for prior, snapshot in history.last_write.values():
+            if prior.tid != e.tid and local_time[prior.eid] > clock.get(prior.tid):
+                racing.append((prior, snapshot))
+        if e.is_write:
+            for prior, snapshot in history.last_read.values():
+                if prior.tid != e.tid and local_time[prior.eid] > clock.get(prior.tid):
+                    racing.append((prior, snapshot))
+
+        race: Optional[DynamicRace] = None
+        if racing:
+            self.racing_at[e.eid] = frozenset(p.eid for p, _ in racing)
+            shortest = max((p for p, _ in racing), key=lambda p: p.eid)
+            race = DynamicRace(first=shortest, second=e, relation=self.relation)
+            assert self.report is not None
+            self.report.races.append(race)
+            if self.force_order:
+                for prior, snapshot in racing:
+                    if clock.get(prior.tid) < local_time[prior.eid]:
+                        clock.set(prior.tid, local_time[prior.eid])
+                        if self.transitive_force:
+                            # The prior access itself plus everything
+                            # ordered before it.
+                            clock.join(snapshot)
+                        self.on_forced_order(prior, e)
+
+        snapshot = clock.copy()
+        if e.is_write:
+            history.last_write[e.tid] = (e, snapshot)
+        else:
+            history.last_read[e.tid] = (e, snapshot)
+        return race
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment an analysis statistics counter on the current report."""
+        assert self.report is not None
+        counters = self.report.counters
+        counters[counter] = counters.get(counter, 0) + amount

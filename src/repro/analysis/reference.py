@@ -1,0 +1,278 @@
+"""Reference (closure-based) implementations of HB, WCP, and DC.
+
+These engines compute each relation *exactly as defined* (Definitions
+2.5, 2.6, and 4.1) by fixpoint iteration over explicit boolean
+reachability matrices. They are cubic-ish in trace length and intended
+purely as ground truth: the differential and property-based tests check
+that the linear-time online detectors compute identical orderings.
+
+Relation recap:
+
+* HB  = transitive closure of PO ∪ lock sync order ∪ hard edges.
+* WCP = smallest relation closed under rule (a), rule (b), and
+  composition with HB on either side; hard edges are included as base
+  orderings (fork/join/volatile ordering can never be reordered).
+* DC  = smallest relation containing PO and hard edges, closed under
+  rule (a), rule (b), and transitivity.
+
+"Hard edges" are fork→first-child-event, last-child-event→join, and
+ordering between conflicting volatile accesses — unconditional
+orderings that every correctly reordered trace preserves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.events import Event, EventKind, Target, Tid, conflicts
+from repro.core.trace import Trace
+from repro.analysis.races import DynamicRace
+
+
+def _close(matrix: np.ndarray) -> np.ndarray:
+    """Transitive closure by repeated boolean squaring."""
+    closed = matrix.copy()
+    while True:
+        step = (closed.astype(np.int32) @ closed.astype(np.int32)) > 0
+        new = closed | step
+        if np.array_equal(new, closed):
+            return closed
+        closed = new
+
+
+def _compose(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Relational composition ``a ; b`` of boolean matrices."""
+    return (a.astype(np.int32) @ b.astype(np.int32)) > 0
+
+
+class CriticalSection:
+    """A critical section as the reference engines see it."""
+
+    def __init__(self, lock: Target, tid: Tid, acq_eid: int):
+        self.lock = lock
+        self.tid = tid
+        self.acq_eid = acq_eid
+        self.rel_eid: Optional[int] = None
+        self.member_eids: List[int] = [acq_eid]
+
+    @property
+    def closed(self) -> bool:
+        return self.rel_eid is not None
+
+
+class ReferenceAnalysis:
+    """Exact fixpoint computation of the three relations for one trace.
+
+    All matrices are strict: ``matrix[i, j]`` means event ``i`` is
+    ordered before event ``j``. Matrices are computed lazily and cached.
+    """
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self.n = len(trace)
+        self._hb: Optional[np.ndarray] = None
+        self._wcp: Optional[np.ndarray] = None
+        self._dc: Optional[np.ndarray] = None
+        self._critical_sections = self._collect_critical_sections()
+
+    # ------------------------------------------------------------------
+    # Structure extraction
+    # ------------------------------------------------------------------
+    def _collect_critical_sections(self) -> List[CriticalSection]:
+        sections: List[CriticalSection] = []
+        open_cs: Dict[Tuple[Target, Tid], List[CriticalSection]] = {}
+        per_thread_open: Dict[Tid, List[CriticalSection]] = {}
+        for e in self.trace:
+            if e.kind is EventKind.ACQUIRE:
+                cs = CriticalSection(e.target, e.tid, e.eid)
+                sections.append(cs)
+                open_cs.setdefault((e.target, e.tid), []).append(cs)
+                # The acquire belongs to enclosing critical sections too.
+                for outer in per_thread_open.get(e.tid, ()):
+                    outer.member_eids.append(e.eid)
+                per_thread_open.setdefault(e.tid, []).append(cs)
+            elif e.kind is EventKind.RELEASE:
+                for cs in per_thread_open.get(e.tid, ()):
+                    cs.member_eids.append(e.eid)
+                cs = open_cs[(e.target, e.tid)].pop()
+                cs.rel_eid = e.eid
+                per_thread_open[e.tid].remove(cs)
+            else:
+                for cs in per_thread_open.get(e.tid, ()):
+                    cs.member_eids.append(e.eid)
+        return sections
+
+    def _po_edges(self) -> np.ndarray:
+        m = np.zeros((self.n, self.n), dtype=bool)
+        last: Dict[Tid, int] = {}
+        for e in self.trace:
+            prev = last.get(e.tid)
+            if prev is not None:
+                m[prev, e.eid] = True
+            last[e.tid] = e.eid
+        return m
+
+    def _hard_edges(self) -> np.ndarray:
+        """Fork/join and volatile ordering edges (never reorderable)."""
+        m = np.zeros((self.n, self.n), dtype=bool)
+        first_of: Dict[Tid, int] = {}
+        last_of: Dict[Tid, int] = {}
+        for e in self.trace:
+            if e.tid not in first_of:
+                first_of[e.tid] = e.eid
+            last_of[e.tid] = e.eid
+        vol_accesses: Dict[Target, List[Event]] = {}
+        for e in self.trace:
+            if e.kind is EventKind.FORK and e.target in first_of:
+                m[e.eid, first_of[e.target]] = True
+            elif e.kind is EventKind.JOIN and e.target in last_of:
+                if last_of[e.target] < e.eid:
+                    m[last_of[e.target], e.eid] = True
+            elif e.kind.is_volatile:
+                prior_list = vol_accesses.setdefault(e.target, [])
+                for prior in prior_list:
+                    # Same-thread pairs are already program-ordered; adding
+                    # them as hard edges would wrongly feed WCP's
+                    # left-HB-composition.
+                    if prior.tid == e.tid:
+                        continue
+                    if (prior.kind is EventKind.VOLATILE_WRITE
+                            or e.kind is EventKind.VOLATILE_WRITE):
+                        m[prior.eid, e.eid] = True
+                prior_list.append(e)
+        return m
+
+    def _sync_edges(self) -> np.ndarray:
+        """Lock release → later acquire edges (HB synchronisation order)."""
+        m = np.zeros((self.n, self.n), dtype=bool)
+        last_release: Dict[Target, int] = {}
+        for e in self.trace:
+            if e.kind is EventKind.ACQUIRE:
+                prev = last_release.get(e.target)
+                if prev is not None:
+                    m[prev, e.eid] = True
+            elif e.kind is EventKind.RELEASE:
+                last_release[e.target] = e.eid
+        return m
+
+    def _rule_a_edges(self) -> np.ndarray:
+        """Rule (a) base edges: release of the earlier critical section →
+        conflicting event in the later critical section on the same lock.
+        The earlier section must be closed; the later one may still be
+        open at trace end (the conflicting event already holds the lock).
+        """
+        m = np.zeros((self.n, self.n), dtype=bool)
+        by_lock: Dict[Target, List[CriticalSection]] = {}
+        for cs in self._critical_sections:
+            by_lock.setdefault(cs.lock, []).append(cs)
+        events = self.trace.events
+        for sections in by_lock.values():
+            for i, cs1 in enumerate(sections):
+                if not cs1.closed:
+                    continue
+                for cs2 in sections[i + 1:]:
+                    for eid2 in cs2.member_eids:
+                        e2 = events[eid2]
+                        if not e2.is_access:
+                            continue
+                        for eid1 in cs1.member_eids:
+                            if conflicts(events[eid1], e2):
+                                assert cs1.rel_eid is not None
+                                m[cs1.rel_eid, eid2] = True
+                                break
+        return m
+
+    def _apply_rule_b(self, matrix: np.ndarray) -> bool:
+        """Add rule (b) edges: ``r1 ≺ r2`` when ``A(r1) ≺ r2`` for
+        same-lock releases. Returns True if anything was added."""
+        changed = False
+        by_lock: Dict[Target, List[CriticalSection]] = {}
+        for cs in self._critical_sections:
+            if cs.closed:
+                by_lock.setdefault(cs.lock, []).append(cs)
+        for sections in by_lock.values():
+            for i, cs1 in enumerate(sections):
+                for cs2 in sections[i + 1:]:
+                    assert cs1.rel_eid is not None and cs2.rel_eid is not None
+                    if (matrix[cs1.acq_eid, cs2.rel_eid]
+                            and not matrix[cs1.rel_eid, cs2.rel_eid]):
+                        matrix[cs1.rel_eid, cs2.rel_eid] = True
+                        changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    @property
+    def hb(self) -> np.ndarray:
+        """The strict happens-before matrix."""
+        if self._hb is None:
+            base = self._po_edges() | self._sync_edges() | self._hard_edges()
+            self._hb = _close(base)
+        return self._hb
+
+    @property
+    def wcp(self) -> np.ndarray:
+        """The strict WCP matrix (without PO; race checks use WCP ∪ PO)."""
+        if self._wcp is None:
+            hb = self.hb
+            w = self._rule_a_edges() | self._hard_edges()
+            while True:
+                before = w.copy()
+                w |= _compose(hb, w) | _compose(w, hb) | _compose(w, w)
+                self._apply_rule_b(w)
+                if np.array_equal(w, before):
+                    break
+            self._wcp = w
+        return self._wcp
+
+    @property
+    def dc(self) -> np.ndarray:
+        """The strict DC matrix (includes PO, per rule (c))."""
+        if self._dc is None:
+            d = self._rule_a_edges() | self._hard_edges() | self._po_edges()
+            while True:
+                before = d.copy()
+                d = _close(d)
+                self._apply_rule_b(d)
+                if np.array_equal(d, before):
+                    break
+            self._dc = d
+        return self._dc
+
+    # ------------------------------------------------------------------
+    # Ordering / race queries
+    # ------------------------------------------------------------------
+    def hb_ordered(self, i: int, j: int) -> bool:
+        return bool(self.hb[i, j])
+
+    def wcp_ordered(self, i: int, j: int) -> bool:
+        """Ordered by WCP ∪ PO (the WCP-race check relation)."""
+        events = self.trace.events
+        if events[i].tid == events[j].tid:
+            return i < j
+        return bool(self.wcp[i, j])
+
+    def dc_ordered(self, i: int, j: int) -> bool:
+        return bool(self.dc[i, j])
+
+    def _races(self, ordered, relation: str) -> List[DynamicRace]:
+        out = []
+        for e1, e2 in self.trace.conflicting_pairs():
+            if not ordered(e1.eid, e2.eid):
+                out.append(DynamicRace(first=e1, second=e2, relation=relation))
+        return out
+
+    def hb_races(self) -> List[DynamicRace]:
+        """All conflicting pairs unordered by HB."""
+        return self._races(self.hb_ordered, "HB")
+
+    def wcp_races(self) -> List[DynamicRace]:
+        """All conflicting pairs unordered by WCP ∪ PO."""
+        return self._races(self.wcp_ordered, "WCP")
+
+    def dc_races(self) -> List[DynamicRace]:
+        """All conflicting pairs unordered by DC."""
+        return self._races(self.dc_ordered, "DC")

@@ -1,0 +1,146 @@
+"""Shared bookkeeping structures for the WCP and DC analyses.
+
+Both analyses implement the same two base rules (Definitions 2.6 and 4.1,
+rules (a) and (b)) and differ only in which relation they compose with
+(HB for WCP, PO for DC). The machinery for the rules is identical:
+
+* :class:`SourceClocks` backs rule (a): for a given key — a (lock,
+  variable) pair, or a volatile variable — it remembers, per source
+  thread, the *latest* relevant event together with a clock snapshot
+  taken when that event's ordering became final (for rule (a), at the
+  release of the critical section containing the access). Later clocks
+  of the same thread dominate earlier ones, so keeping only the latest
+  entry per thread is lossless.
+
+* :class:`LockQueues` backs rule (b): per lock, the history of critical
+  sections by each thread, with a per-observer cursor implementing the
+  FIFO queues of Kini et al.'s algorithm. At a release, the observer
+  consumes every critical section whose acquire is already ordered
+  before it, joining the recorded release clock (rule (b)'s conclusion),
+  iterating to a fixpoint because each join can order further acquires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.events import Tid
+from repro.core.vectorclock import VectorClock
+
+
+class SourceClocks:
+    """Latest (event, clock snapshot) per source thread for one key."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        # tid -> (event eid, event thread-local time, clock snapshot)
+        self._entries: Dict[Tid, Tuple[int, int, VectorClock]] = {}
+
+    def record(self, tid: Tid, eid: int, local_time: int,
+               clock: VectorClock) -> None:
+        """Remember ``clock`` as the snapshot for thread ``tid``'s latest
+        relevant event. The snapshot must never be mutated afterwards."""
+        self._entries[tid] = (eid, local_time, clock)
+
+    def join_into(self, target: VectorClock, skip_tid: Tid) -> List[int]:
+        """Join every other thread's snapshot into ``target``; return the
+        eids of source events whose ordering is *newly* established (used
+        for constraint-graph edges; empty joins are skipped entirely).
+
+        An entry is skipped when the source event is already ordered
+        before the target (its own clock component is covered), which is
+        the paper's vector-clock-based edge minimisation.
+        """
+        new_sources: List[int] = []
+        for tid, (eid, local_time, clock) in self._entries.items():
+            if tid == skip_tid:
+                continue
+            if target.get(tid) >= local_time:
+                continue
+            target.join(clock)
+            new_sources.append(eid)
+        return new_sources
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+
+@dataclass
+class CSRecord:
+    """One critical section on one lock, as seen by rule (b)."""
+
+    tid: Tid
+    acq_local_time: int
+    rel_eid: int = -1
+    rel_local_time: int = -1
+    rel_clock: Optional[VectorClock] = None
+
+    @property
+    def closed(self) -> bool:
+        return self.rel_clock is not None
+
+
+@dataclass
+class LockQueues:
+    """Rule (b) state for one lock: per-thread critical-section history
+    plus per-observer consumption cursors."""
+
+    records: Dict[Tid, List[CSRecord]] = field(default_factory=dict)
+    cursors: Dict[Tid, Dict[Tid, int]] = field(default_factory=dict)
+    open_record: Optional[CSRecord] = None
+
+    def on_acquire(self, tid: Tid, acq_local_time: int) -> None:
+        """Open a new critical section record for ``tid``."""
+        record = CSRecord(tid=tid, acq_local_time=acq_local_time)
+        self.records.setdefault(tid, []).append(record)
+        self.open_record = record
+
+    def on_release(self, rel_eid: int, rel_local_time: int,
+                   snapshot: VectorClock) -> None:
+        """Close the open critical section with the releasing thread's
+        clock snapshot (which must not be mutated afterwards)."""
+        record = self.open_record
+        assert record is not None, "release without matching acquire"
+        record.rel_eid = rel_eid
+        record.rel_local_time = rel_local_time
+        record.rel_clock = snapshot
+        self.open_record = None
+
+    def apply_rule_b(self, observer: Tid, clock: VectorClock) -> List[int]:
+        """Apply rule (b) at a release by ``observer`` whose current clock
+        is ``clock``: consume every other thread's critical sections whose
+        acquire is ordered before this release, joining their release
+        clocks. Iterates to a fixpoint since joins can order more
+        acquires. Returns eids of releases newly ordered (graph edges).
+        """
+        new_sources: List[int] = []
+        my_cursors = self.cursors.setdefault(observer, {})
+        changed = True
+        while changed:
+            changed = False
+            # The observer's own records are included: rule (b) has no
+            # thread restriction, and for WCP a same-thread conclusion
+            # r1 ≺ r2 feeds left-HB-composition joins that program order
+            # alone does not imply. (For DC, own records join no new
+            # information — the thread's clock already dominates its own
+            # past — so they are consumed silently.)
+            for tid, recs in self.records.items():
+                i = my_cursors.get(tid, 0)
+                while i < len(recs):
+                    rec = recs[i]
+                    if not rec.closed:
+                        # The source thread's critical section is still
+                        # open; it cannot be ordered before this release.
+                        break
+                    if clock.get(tid) < rec.acq_local_time:
+                        break  # FIFO heads are monotone per thread.
+                    if clock.get(tid) < rec.rel_local_time:
+                        assert rec.rel_clock is not None
+                        clock.join(rec.rel_clock)
+                        new_sources.append(rec.rel_eid)
+                        changed = True
+                    i += 1
+                my_cursors[tid] = i
+        return new_sources

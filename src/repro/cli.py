@@ -1,0 +1,151 @@
+"""Command-line interface: ``vindicator`` / ``python -m repro``.
+
+Sub-commands:
+
+* ``analyze <trace-file>`` — run HB, WCP, and DC analyses plus
+  vindication on a text-format trace (see :mod:`repro.traces.io`) and
+  print the race report;
+* ``litmus [name]`` — run the paper's litmus executions (all, or one by
+  name) and show what each analysis finds;
+* ``workload <name>`` — execute a DaCapo-analog workload and analyze its
+  trace.
+
+Examples::
+
+    vindicator litmus figure2
+    vindicator analyze mytrace.txt --vindicate-all --witness
+    vindicator workload xalan --seed 3 --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.races import RaceClass
+from repro.stats.distances import static_distance_ranges
+from repro.traces.render import render_witness
+from repro.traces.io import load_trace
+from repro.traces.litmus import ALL as LITMUS
+from repro.vindicate.vindicator import Vindicator, VindicatorReport
+
+
+def _print_report(report: VindicatorReport, show_witness: bool) -> None:
+    print(f"trace: {len(report.trace)} events, "
+          f"{len(report.trace.threads)} threads")
+    for analysis in (report.hb, report.wcp, report.dc):
+        print(f"  {analysis}")
+    by_class = report.dc.by_class()
+    for race_class in RaceClass:
+        races = by_class.get(race_class, [])
+        if races:
+            print(f"  {race_class}: {len(races)} dynamic")
+    if report.vindications:
+        print("vindication:")
+        for v in report.vindications:
+            print(f"  {v.race}")
+            print(f"    -> {v.verdict} (LS constraints: {v.ls_constraints}, "
+                  f"attempts: {v.attempts}, {v.elapsed_seconds * 1e3:.1f} ms)")
+            if show_witness and v.witness is not None:
+                print("    witness (correctly reordered trace):")
+                for line in render_witness(v.witness, v.race.first,
+                                           v.race.second).splitlines():
+                    print(f"      {line}")
+    ranges = static_distance_ranges(
+        [r for r in report.dc.races if r.race_class is RaceClass.DC_ONLY])
+    if ranges:
+        print("DC-only static races (event distances):")
+        for key, rng in ranges.items():
+            locs = " <-> ".join(sorted(key))
+            print(f"  {locs}: {rng}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    vindicator = Vindicator(vindicate_all=args.vindicate_all,
+                            policy=args.policy)
+    report = vindicator.run(trace)
+    _print_report(report, show_witness=args.witness)
+    return 0
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    names = [args.name] if args.name else list(LITMUS)
+    for name in names:
+        factory = LITMUS.get(name)
+        if factory is None:
+            print(f"unknown litmus trace {name!r}; available: "
+                  f"{', '.join(LITMUS)}", file=sys.stderr)
+            return 2
+        print(f"=== {name} ===")
+        vindicator = Vindicator(vindicate_all=True,
+                                transitive_force=not name.startswith("figure4"))
+        _print_report(vindicator.run(factory()), show_witness=args.witness)
+        print()
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.runtime import execute, fast_path_filter
+    from repro.runtime.workloads import WORKLOADS
+
+    factory = WORKLOADS.get(args.name)
+    if factory is None:
+        print(f"unknown workload {args.name!r}; available: "
+              f"{', '.join(WORKLOADS)}", file=sys.stderr)
+        return 2
+    trace = execute(factory(scale=args.scale), seed=args.seed)
+    if args.fast_path:
+        trace, stats = fast_path_filter(trace)
+        print(f"fast path removed {stats.removed} of {stats.original_events} "
+              f"events ({stats.hit_rate:.0%})")
+    report = Vindicator(vindicate_all=args.vindicate_all).run(trace)
+    _print_report(report, show_witness=args.witness)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="vindicator",
+        description="Sound predictive data race detection (Vindicator, "
+                    "PLDI 2018 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze a text-format trace file")
+    analyze.add_argument("trace", help="path to the trace file")
+    analyze.add_argument("--vindicate-all", action="store_true",
+                         help="vindicate every DC-race, not only DC-only ones")
+    analyze.add_argument("--policy", choices=("latest", "earliest", "random"),
+                         default="latest", help="greedy construction policy")
+    analyze.add_argument("--witness", action="store_true",
+                         help="print witness traces for confirmed races")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    litmus = sub.add_parser("litmus", help="run the paper's litmus executions")
+    litmus.add_argument("name", nargs="?", help="litmus trace name "
+                        f"({', '.join(LITMUS)})")
+    litmus.add_argument("--witness", action="store_true")
+    litmus.set_defaults(func=_cmd_litmus)
+
+    workload = sub.add_parser("workload", help="run a DaCapo-analog workload")
+    workload.add_argument("name", help="workload name (e.g. xalan)")
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--scale", type=float, default=1.0)
+    workload.add_argument("--fast-path", action="store_true",
+                          help="apply the redundant-access fast path")
+    workload.add_argument("--vindicate-all", action="store_true")
+    workload.add_argument("--witness", action="store_true")
+    workload.set_defaults(func=_cmd_workload)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro (Vindicator) library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class. Structural problems in input traces raise
+:class:`MalformedTraceError`; internal invariant violations during
+vindication raise :class:`VindicationError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MalformedTraceError(ReproError):
+    """An execution trace violates a structural rule.
+
+    Examples: releasing a lock that is not held, acquiring a lock that is
+    already held (locks are modelled as non-reentrant, as in the paper's
+    event model), an event by a thread before its fork, or an event after
+    its join.
+    """
+
+    def __init__(self, message: str, event_index: int = -1):
+        super().__init__(message)
+        #: Index (trace position) of the offending event, or -1 if unknown.
+        self.event_index = event_index
+
+
+class MalformedReorderingError(ReproError):
+    """A candidate reordered trace violates Definition 2.1.
+
+    Raised by the witness checker when a reordered trace breaks the
+    program-order (PO), conflicting-accesses (CA), or lock-semantics (LS)
+    rule of a correct reordering.
+    """
+
+    def __init__(self, message: str, rule: str):
+        super().__init__(f"{rule} rule violated: {message}")
+        #: Which rule was broken: ``"PO"``, ``"CA"``, ``"LS"``, or ``"EVENTS"``.
+        self.rule = rule
+
+
+class VindicationError(ReproError):
+    """An internal invariant of the VindicateRace algorithm was violated."""
+
+
+class TraceFormatError(ReproError):
+    """A textual trace file could not be parsed."""
+
+    def __init__(self, message: str, line_number: int = -1):
+        if line_number >= 0:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number

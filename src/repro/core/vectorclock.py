@@ -1,0 +1,144 @@
+"""Vector clocks and epochs.
+
+Vector clocks [Mattern 1989] map each thread to a logical time. The
+analyses in :mod:`repro.analysis` use them to represent, for each thread,
+the set of events known to be ordered before the thread's next event
+under a given relation (HB, WCP, or DC).
+
+The implementation is dict-backed: absent threads implicitly have time 0,
+so clocks stay small in programs where most threads never interact.
+
+:class:`Epoch` is the FastTrack-style compressed representation ``c@t``
+of a clock that is known to have a single non-trivial component; it backs
+the optional FastTrack detector (:mod:`repro.analysis.fasttrack`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.core.events import Tid
+
+
+class VectorClock:
+    """A mutable vector clock: a map from thread id to logical time.
+
+    Missing entries are implicitly zero. Supports in-place ``join``
+    (pointwise max), component get/set, the pointwise-≤ comparison
+    (``other <= self`` via :meth:`dominates`), and copying.
+    """
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Optional[Mapping[Tid, int]] = None):
+        self._clocks: Dict[Tid, int] = dict(clocks) if clocks else {}
+
+    # ------------------------------------------------------------------
+    # Component access
+    # ------------------------------------------------------------------
+    def get(self, tid: Tid) -> int:
+        """Return this clock's component for ``tid`` (0 if absent)."""
+        return self._clocks.get(tid, 0)
+
+    def set(self, tid: Tid, time: int) -> None:
+        """Set the component for ``tid``. Setting 0 removes the entry."""
+        if time:
+            self._clocks[tid] = time
+        else:
+            self._clocks.pop(tid, None)
+
+    def increment(self, tid: Tid) -> int:
+        """Advance ``tid``'s component by one and return the new value."""
+        new = self._clocks.get(tid, 0) + 1
+        self._clocks[tid] = new
+        return new
+
+    # ------------------------------------------------------------------
+    # Lattice operations
+    # ------------------------------------------------------------------
+    def join(self, other: "VectorClock") -> bool:
+        """In-place pointwise max with ``other``.
+
+        Returns True if any component of ``self`` increased — callers use
+        this to decide whether a join conveyed new ordering information
+        (e.g. for constraint-graph edge minimisation).
+        """
+        changed = False
+        mine = self._clocks
+        for tid, time in other._clocks.items():
+            if time > mine.get(tid, 0):
+                mine[tid] = time
+                changed = True
+        return changed
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """Return True if ``other ⊑ self`` (pointwise ≤)."""
+        mine = self._clocks
+        for tid, time in other._clocks.items():
+            if time > mine.get(tid, 0):
+                return False
+        return True
+
+    def copy(self) -> "VectorClock":
+        clone = VectorClock()
+        clone._clocks = dict(self._clocks)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Protocol support
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._clocks == other._clocks
+
+    def __hash__(self):  # pragma: no cover - clocks are mutable
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __iter__(self) -> Iterator[Tuple[Tid, int]]:
+        return iter(self._clocks.items())
+
+    def __len__(self) -> int:
+        return len(self._clocks)
+
+    def __bool__(self) -> bool:
+        return bool(self._clocks)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"T{t}:{c}" for t, c in sorted(self._clocks.items(), key=str))
+        return f"VC[{inner}]"
+
+    def as_dict(self) -> Dict[Tid, int]:
+        """Return a snapshot of the non-zero components."""
+        return dict(self._clocks)
+
+
+class Epoch:
+    """A FastTrack epoch ``c@t``: logical time ``c`` of thread ``t``.
+
+    Epochs compress the common case where a variable's last writes (or
+    reads) are totally ordered, replacing a full vector clock with a
+    single (time, thread) pair.
+    """
+
+    __slots__ = ("time", "tid")
+
+    def __init__(self, time: int, tid: Tid):
+        self.time = time
+        self.tid = tid
+
+    def happens_before(self, clock: VectorClock) -> bool:
+        """Return True if this epoch is covered by ``clock`` (``c ≤ clock[t]``)."""
+        return self.time <= clock.get(self.tid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Epoch):
+            return NotImplemented
+        return self.time == other.time and self.tid == other.tid
+
+    def __repr__(self) -> str:
+        return f"{self.time}@T{self.tid}"
+
+
+#: The distinguished empty epoch (time 0 is before everything).
+EPOCH_ZERO = Epoch(0, "<none>")

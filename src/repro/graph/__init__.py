@@ -1,0 +1,5 @@
+"""The constraint graph used by DC analysis and VindicateRace."""
+
+from repro.graph.constraint_graph import ConstraintGraph
+
+__all__ = ["ConstraintGraph"]

@@ -1,0 +1,211 @@
+"""The constraint graph ``G`` (Section 5.1).
+
+Nodes are trace events (identified by eid); edges are ordering constraints
+on any correctly reordered trace. DC analysis populates the initial graph
+so that reachability coincides with DC ordering:
+
+* program-order edges chain each thread's events;
+* rule (a) edges run from the release of a critical section to a later
+  conflicting access in another critical section on the same lock;
+* rule (b) edges order releases of the same lock;
+* hard edges cover fork/join, volatile ordering, and forced ordering
+  after a detected race.
+
+VindicateRace then temporarily adds *consecutive-event* and
+*lock-semantics* edges; those are tracked by tag so they can be removed
+afterwards, leaving ``G`` pristine for the next race (Section 6.1,
+"VindicateRace").
+
+Edge lists are kept in both directions because AddConstraints queries
+direct predecessors of the racing events, and reachability is needed both
+forward (descendants) and backward (ancestors).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+class ConstraintGraph:
+    """A directed graph over event ids with tagged, removable edges."""
+
+    def __init__(self, num_events: int = 0):
+        self._succ: Dict[int, List[int]] = {}
+        self._pred: Dict[int, List[int]] = {}
+        self._edges: Set[Edge] = set()
+        self.num_events = num_events
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, src: int, dst: int) -> bool:
+        """Add edge ``src -> dst``. Returns False if already present."""
+        if src == dst:
+            raise ValueError(f"self edge on event {src}")
+        edge = (src, dst)
+        if edge in self._edges:
+            return False
+        self._edges.add(edge)
+        self._succ.setdefault(src, []).append(dst)
+        self._pred.setdefault(dst, []).append(src)
+        if src >= self.num_events:
+            self.num_events = src + 1
+        if dst >= self.num_events:
+            self.num_events = dst + 1
+        return True
+
+    def remove_edge(self, src: int, dst: int) -> None:
+        """Remove an edge previously added with :meth:`add_edge`."""
+        edge = (src, dst)
+        if edge not in self._edges:
+            return
+        self._edges.remove(edge)
+        self._succ[src].remove(dst)
+        self._pred[dst].remove(src)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def has_edge(self, src: int, dst: int) -> bool:
+        return (src, dst) in self._edges
+
+    def successors(self, node: int) -> List[int]:
+        return self._succ.get(node, [])
+
+    def predecessors(self, node: int) -> List[int]:
+        return self._pred.get(node, [])
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def descendants(self, roots: Iterable[int],
+                    include_roots: bool = False,
+                    within: Optional[Tuple[int, int]] = None) -> Set[int]:
+        """All nodes reachable from ``roots`` by following edges forward.
+
+        With ``within=(lo, hi)``, traversal is restricted to nodes whose
+        event id lies in the window (the paper's Lamport-timestamp window
+        optimisation for AddConstraints)."""
+        return self._bfs(roots, self._succ, include_roots, within)
+
+    def ancestors(self, roots: Iterable[int],
+                  include_roots: bool = False,
+                  within: Optional[Tuple[int, int]] = None) -> Set[int]:
+        """All nodes from which some root is reachable (``e ⇝_G root``)."""
+        return self._bfs(roots, self._pred, include_roots, within)
+
+    @staticmethod
+    def _bfs(roots: Iterable[int], adjacency: Dict[int, List[int]],
+             include_roots: bool,
+             within: Optional[Tuple[int, int]] = None) -> Set[int]:
+        roots = list(roots)
+        seen: Set[int] = set()
+        queue = deque(roots)
+        while queue:
+            node = queue.popleft()
+            for nxt in adjacency.get(node, ()):
+                if nxt in seen:
+                    continue
+                if within is not None and not within[0] <= nxt <= within[1]:
+                    continue
+                seen.add(nxt)
+                queue.append(nxt)
+        # Strict reachability: a root belongs to the result only if it was
+        # re-reached through an edge (i.e. it lies on a cycle) — unless the
+        # caller asked for reflexive reachability.
+        if include_roots:
+            seen.update(roots)
+        return seen
+
+    def reaches(self, src: int, dst: int) -> bool:
+        """``src ⇝_G dst``: strict reachability (at least one edge)."""
+        if src == dst:
+            # A node reaches itself only through a cycle.
+            return self._on_cycle(src)
+        seen = {src}
+        queue = deque([src])
+        while queue:
+            node = queue.popleft()
+            for nxt in self._succ.get(node, ()):
+                if nxt == dst:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return False
+
+    def _on_cycle(self, node: int) -> bool:
+        seen: Set[int] = set()
+        queue = deque(self._succ.get(node, ()))
+        while queue:
+            cur = queue.popleft()
+            if cur == node:
+                return True
+            if cur in seen:
+                continue
+            seen.add(cur)
+            queue.extend(self._succ.get(cur, ()))
+        return False
+
+    def find_cycle_reaching(self, targets: Set[int]) -> Optional[List[int]]:
+        """Find a cycle among nodes that reach one of ``targets``
+        (Algorithm 1, lines 20–21: a cycle is only disqualifying when it
+        constrains the racing events). Returns the cycle's nodes or None.
+
+        Implemented as an iterative DFS with colouring over the subgraph
+        induced by the ancestors of ``targets`` (targets included).
+        """
+        region = self.ancestors(targets, include_roots=True)
+        region.update(targets)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[int, int] = {}
+        parent: Dict[int, int] = {}
+        for root in region:
+            if color.get(root, WHITE) is not WHITE:
+                continue
+            stack: List[Tuple[int, Iterator[int]]] = [(root, iter(self._succ.get(root, ())))]
+            color[root] = GRAY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in region:
+                        continue
+                    c = color.get(nxt, WHITE)
+                    if c == GRAY:
+                        # Found a back edge: reconstruct the cycle.
+                        cycle = [nxt, node]
+                        cur = node
+                        while cur != nxt and cur in parent:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        return cycle
+                    if c == WHITE:
+                        color[nxt] = GRAY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(self._succ.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    def copy(self) -> "ConstraintGraph":
+        clone = ConstraintGraph(self.num_events)
+        for src, dst in self._edges:
+            clone.add_edge(src, dst)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"ConstraintGraph({self.num_events} events, {len(self._edges)} edges)"

@@ -1,0 +1,29 @@
+"""Execution substrate: concurrent-program model, scheduler, workloads.
+
+This package replaces the paper's RoadRunner instrumentation layer: it
+turns programs (thread bodies yielding abstract operations) into
+execution traces through a seeded scheduler, with the paper's
+redundant-access fast path available as a trace filter.
+"""
+
+from repro.runtime.program import Op, Program, ops
+from repro.runtime.scheduler import (
+    SchedulerDeadlockError,
+    SchedulerError,
+    execute,
+)
+from repro.runtime.instrument import FastPathStats, fast_path_filter
+from repro.runtime.fuzz import ProgramConfig, random_program
+
+__all__ = [
+    "FastPathStats",
+    "ProgramConfig",
+    "Op",
+    "Program",
+    "SchedulerDeadlockError",
+    "SchedulerError",
+    "execute",
+    "fast_path_filter",
+    "ops",
+    "random_program",
+]

@@ -1,0 +1,111 @@
+"""Random concurrent-program generation (scheduler fuzzing).
+
+Where :mod:`repro.traces.gen` generates random *traces* directly, this
+module generates random *programs* — thread bodies over shared locks,
+variables, and volatiles with nested forks — to fuzz the scheduler:
+every schedule of a well-formed program must yield a structurally valid
+trace, identical for identical seeds, and all analyses must run on it
+without error. Used by ``tests/test_fuzz.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from repro.runtime.program import Op, Program, ops
+
+
+@dataclass
+class ProgramConfig:
+    """Knobs for :func:`random_program`."""
+
+    top_level_threads: int = 3
+    ops_per_thread: int = 12
+    variables: int = 3
+    locks: int = 2
+    volatiles: int = 1
+    max_nesting: int = 2
+    fork_probability: float = 0.15
+    max_forks: int = 3
+
+
+def random_program(seed: int,
+                   config: Optional[ProgramConfig] = None) -> Program:
+    """Generate a random well-formed program for ``seed``.
+
+    Thread bodies acquire/release locks in nested order, access shared
+    variables and volatiles, and occasionally fork (and always join)
+    child threads. The program is deadlock-free by construction: locks
+    are always acquired in a fixed global order.
+    """
+    cfg = config or ProgramConfig()
+    fork_budget = [cfg.max_forks]
+    name_counter = [0]
+
+    variables = [f"x{i}" for i in range(cfg.variables)]
+    locks = [f"m{i}" for i in range(cfg.locks)]
+    volatiles = [f"v{i}" for i in range(cfg.volatiles)]
+
+    def body_factory(depth: int, body_seed: int) -> Callable[[], Iterator[Op]]:
+        def body() -> Iterator[Op]:
+            local = random.Random(body_seed)
+            held: List[int] = []  # indices into locks, ascending
+            pending_joins: List[str] = []
+            for _ in range(cfg.ops_per_thread):
+                roll = local.random()
+                if (roll < cfg.fork_probability and depth < 2
+                        and fork_budget[0] > 0):
+                    fork_budget[0] -= 1
+                    name_counter[0] += 1
+                    name = f"t{name_counter[0]}"
+                    yield ops.fork(name, body_factory(depth + 1,
+                                                      local.randrange(1 << 30)))
+                    pending_joins.append(name)
+                elif roll < 0.35 and len(held) < cfg.max_nesting:
+                    # Acquire in global order to stay deadlock-free.
+                    floor = held[-1] + 1 if held else 0
+                    candidates = list(range(floor, len(locks)))
+                    if candidates:
+                        idx = local.choice(candidates)
+                        held.append(idx)
+                        yield ops.acq(locks[idx])
+                        continue
+                    yield ops.rd(local.choice(variables))
+                elif roll < 0.55 and held:
+                    yield ops.rel(locks[held.pop()])
+                elif volatiles and roll < 0.62:
+                    var = local.choice(volatiles)
+                    if local.random() < 0.5:
+                        yield ops.vwr(var)
+                    else:
+                        yield ops.vrd(var)
+                else:
+                    var = local.choice(variables)
+                    if local.random() < 0.5:
+                        yield ops.wr(var, loc=f"Fuzz.w{var}:1")
+                    else:
+                        yield ops.rd(var, loc=f"Fuzz.r{var}:1")
+            while held:
+                yield ops.rel(locks[held.pop()])
+            for name in pending_joins:
+                yield ops.join(name)
+        return body
+
+    def main() -> Iterator[Op]:
+        # Reset shared generation state (and use a fresh RNG) so
+        # re-executing the same Program is reproducible.
+        rng = random.Random(seed)
+        fork_budget[0] = cfg.max_forks
+        name_counter[0] = 0
+        names = []
+        for i in range(cfg.top_level_threads):
+            name_counter[0] += 1
+            name = f"w{name_counter[0]}"
+            yield ops.fork(name, body_factory(0, rng.randrange(1 << 30)))
+            names.append(name)
+        for name in names:
+            yield ops.join(name)
+
+    return Program(name=f"fuzz{seed}", main=main)

@@ -1,0 +1,75 @@
+"""Instrumentation-layer helpers: the redundant-access fast path.
+
+The paper's implementation uses an instrumentation "fast path" that
+skips *redundant* accesses — a read or write to a variable the same
+thread already wrote (or a read it already read) with no interleaving
+synchronisation — which cannot change race results but shrink both the
+analysis work and the constraint graph (Section 6.1).
+
+Here the fast path is a trace-to-trace filter applied between the
+scheduler and the analyses. An access is redundant when, since the
+thread's previous access to the same variable, the thread performed no
+synchronisation operation (lock, volatile, fork/join), and either the
+previous access was a write, or both accesses are reads. Such an access
+adds no new orderings (its critical-section context equals the previous
+access's) and any race it participates in is detected at the previous
+access or at the other thread's access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.events import Event, EventKind, Target, Tid
+from repro.core.trace import Trace
+
+
+@dataclass
+class FastPathStats:
+    """Outcome of :func:`fast_path_filter`."""
+
+    original_events: int
+    filtered_events: int
+
+    @property
+    def removed(self) -> int:
+        return self.original_events - self.filtered_events
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of events the fast path removed."""
+        if self.original_events == 0:
+            return 0.0
+        return self.removed / self.original_events
+
+
+def fast_path_filter(trace: Trace) -> Tuple[Trace, FastPathStats]:
+    """Remove redundant accesses from ``trace``.
+
+    Returns the filtered (renumbered) trace and the filter statistics.
+    """
+    # Per thread: epoch counter bumped at each synchronisation op, and
+    # per variable the (epoch, kind) of the thread's last access.
+    sync_epoch: Dict[Tid, int] = {}
+    last_access: Dict[Tuple[Tid, Target], Tuple[int, EventKind]] = {}
+    kept: List[Event] = []
+    for e in trace:
+        if e.kind.is_access:
+            epoch = sync_epoch.get(e.tid, 0)
+            prior = last_access.get((e.tid, e.target))
+            if prior is not None and prior[0] == epoch:
+                prior_kind = prior[1]
+                redundant = (prior_kind is EventKind.WRITE
+                             or (prior_kind is EventKind.READ
+                                 and e.kind is EventKind.READ))
+                if redundant:
+                    continue
+            last_access[(e.tid, e.target)] = (epoch, e.kind)
+            kept.append(e)
+        else:
+            sync_epoch[e.tid] = sync_epoch.get(e.tid, 0) + 1
+            kept.append(e)
+    filtered = Trace.from_events(kept)
+    return filtered, FastPathStats(original_events=len(trace),
+                                   filtered_events=len(filtered))

@@ -1,0 +1,110 @@
+"""Concurrent-program model for the execution substrate.
+
+The paper's implementation platform, RoadRunner, instruments JVM
+bytecode and surfaces a stream of memory-access and synchronisation
+events to the analyses. This module is the analogous substrate for the
+reproduction: a *program* is a set of thread bodies written as Python
+generators that yield abstract operations; the scheduler
+(:mod:`repro.runtime.scheduler`) interleaves them into an execution
+trace.
+
+Example::
+
+    from repro.runtime.program import Program, ops
+
+    def writer():
+        yield ops.acq("m")
+        yield ops.wr("data", loc="Writer.run():12")
+        yield ops.rel("m")
+
+    def main():
+        yield ops.fork("w", writer)
+        yield ops.rd("data", loc="Main.check():40")
+        yield ops.join("w")
+
+    program = Program(name="example", main=main)
+
+Thread bodies may fork further threads dynamically, synchronise on
+locks and volatiles, and carry source-location strings so dynamic races
+aggregate into statically distinct races exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.core.events import EventKind, Target
+
+
+@dataclass(frozen=True)
+class Op:
+    """One abstract operation yielded by a thread body."""
+
+    kind: EventKind
+    target: Optional[Target] = None
+    loc: Optional[str] = None
+    #: For FORK: the body generator function of the new thread.
+    body: Optional[Callable[[], Iterator["Op"]]] = None
+
+
+class ops:
+    """Factory helpers for :class:`Op` (kept in one namespace so thread
+    bodies read like tiny programs)."""
+
+    @staticmethod
+    def rd(var: Target, loc: Optional[str] = None) -> Op:
+        """Read a shared variable."""
+        return Op(EventKind.READ, var, loc)
+
+    @staticmethod
+    def wr(var: Target, loc: Optional[str] = None) -> Op:
+        """Write a shared variable."""
+        return Op(EventKind.WRITE, var, loc)
+
+    @staticmethod
+    def acq(lock: Target, loc: Optional[str] = None) -> Op:
+        """Acquire a lock (blocks while another thread holds it)."""
+        return Op(EventKind.ACQUIRE, lock, loc)
+
+    @staticmethod
+    def rel(lock: Target, loc: Optional[str] = None) -> Op:
+        """Release a held lock."""
+        return Op(EventKind.RELEASE, lock, loc)
+
+    @staticmethod
+    def vrd(var: Target, loc: Optional[str] = None) -> Op:
+        """Volatile read (synchronisation, never a race candidate)."""
+        return Op(EventKind.VOLATILE_READ, var, loc)
+
+    @staticmethod
+    def vwr(var: Target, loc: Optional[str] = None) -> Op:
+        """Volatile write."""
+        return Op(EventKind.VOLATILE_WRITE, var, loc)
+
+    @staticmethod
+    def fork(name: Target, body: Callable[[], Iterator[Op]],
+             loc: Optional[str] = None) -> Op:
+        """Start a new thread running ``body``."""
+        return Op(EventKind.FORK, name, loc, body)
+
+    @staticmethod
+    def join(name: Target, loc: Optional[str] = None) -> Op:
+        """Wait for a forked thread to finish (blocks until it does)."""
+        return Op(EventKind.JOIN, name, loc)
+
+
+@dataclass
+class Program:
+    """A concurrent program: a name plus the main thread's body.
+
+    Additional threads are created with :func:`ops.fork`; the scheduler
+    assigns the forking thread's events and the children's events to
+    distinct thread ids derived from the fork names.
+    """
+
+    name: str
+    main: Callable[[], Iterator[Op]]
+
+    def __str__(self) -> str:
+        return f"Program({self.name})"

@@ -1,0 +1,192 @@
+"""Seeded scheduler: executes a :class:`~repro.runtime.program.Program`
+into an execution trace.
+
+The scheduler maintains a set of live threads (generators of operations)
+and repeatedly picks one runnable thread to take a step, emitting the
+corresponding trace event. A thread is blocked when its next operation
+is an acquire of a held lock or a join of an unfinished thread.
+Scheduling is reproducible: the same program and seed always produce the
+same trace, while different seeds explore different interleavings —
+the substrate's stand-in for the paper's ten-trial methodology.
+
+Two policies are provided:
+
+* ``"random"`` — uniformly random among runnable threads (default);
+* ``"round_robin"`` — cycle through runnable threads with a seeded
+  *quantum*, which yields longer per-thread runs and hence larger event
+  distances between cross-thread conflicting accesses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.events import EventKind, Target, Tid
+from repro.core.exceptions import ReproError
+from repro.core.trace import Trace, TraceBuilder
+from repro.runtime.program import Op, Program
+
+
+class SchedulerDeadlockError(ReproError):
+    """All live threads are blocked (the program deadlocked)."""
+
+
+class SchedulerError(ReproError):
+    """A thread issued an operation that is invalid in context."""
+
+
+@dataclass
+class _ThreadState:
+    tid: Tid
+    body: Iterator[Op]
+    pending: Optional[Op] = None
+    finished: bool = False
+    held: List[Target] = field(default_factory=list)
+
+    def next_op(self) -> Optional[Op]:
+        """Peek the thread's next operation (None when it is done)."""
+        if self.pending is None and not self.finished:
+            try:
+                self.pending = next(self.body)
+            except StopIteration:
+                self.finished = True
+        return self.pending
+
+
+def execute(program: Program, seed: int = 0, policy: str = "random",
+            quantum: int = 8, thread_markers: bool = False,
+            max_events: int = 2_000_000) -> Trace:
+    """Run ``program`` under a seeded schedule and return the trace.
+
+    Args:
+        program: The program to execute.
+        seed: Scheduler seed; determines the interleaving.
+        policy: ``"random"`` or ``"round_robin"``.
+        quantum: For ``round_robin``: how many steps a thread runs before
+            the scheduler moves on (drawn ±50% per turn, seeded).
+        thread_markers: Emit begin/end events for every thread.
+        max_events: Safety bound on trace length.
+    """
+    if policy not in ("random", "round_robin"):
+        raise ValueError(f"unknown scheduling policy {policy!r}")
+    rng = random.Random(seed)
+    builder = TraceBuilder()
+    main_tid = f"{program.name}.main"
+    threads: Dict[Tid, _ThreadState] = {
+        main_tid: _ThreadState(tid=main_tid, body=program.main())
+    }
+    lock_holder: Dict[Target, Tid] = {}
+    if thread_markers:
+        builder.begin(main_tid)
+    ended: set = set()
+    emitted = 0
+    current: Optional[Tid] = None
+    budget = 0
+
+    def runnable() -> List[_ThreadState]:
+        # First pass: peek every thread so finished generators are marked
+        # before join-blocking is evaluated (a join may depend on a thread
+        # that appears later in the dict).
+        for state in threads.values():
+            state.next_op()
+        out = []
+        for state in threads.values():
+            op = state.pending
+            if op is None:
+                continue
+            if op.kind is EventKind.ACQUIRE and op.target in lock_holder:
+                continue
+            if op.kind is EventKind.JOIN:
+                target_tid = _child_tid(program, op.target)
+                child = threads.get(target_tid)
+                if child is None or not (child.finished and child.pending is None):
+                    continue
+            out.append(state)
+        return out
+
+    while True:
+        ready = runnable()  # peeks every thread, marking finished ones
+        for state in threads.values():
+            if state.finished and state.pending is None and state.held:
+                raise SchedulerError(
+                    f"thread {state.tid!r} finished holding locks {state.held}")
+        if all(s.finished and s.pending is None for s in threads.values()):
+            break
+        if not ready:
+            blocked = [s.tid for s in threads.values()
+                       if not (s.finished and s.pending is None)]
+            raise SchedulerDeadlockError(
+                f"{program.name}: all live threads blocked: {blocked}")
+        if policy == "random":
+            state = rng.choice(ready)
+        else:
+            if current is None or budget <= 0 or all(s.tid != current for s in ready):
+                state = rng.choice(ready)
+                current = state.tid
+                budget = max(1, int(quantum * (0.5 + rng.random())))
+            else:
+                state = next(s for s in ready if s.tid == current)
+            budget -= 1
+        op = state.pending
+        state.pending = None
+        assert op is not None
+        emitted += 1
+        if emitted > max_events:
+            raise SchedulerError(
+                f"{program.name}: exceeded max_events={max_events}")
+        _emit(builder, program, threads, lock_holder, state, op,
+              thread_markers, ended)
+    if thread_markers:
+        builder.end(main_tid)
+    return builder.build()
+
+
+def _child_tid(program: Program, name: Target) -> Tid:
+    return f"{program.name}.{name}"
+
+
+def _emit(builder: TraceBuilder, program: Program,
+          threads: Dict[Tid, _ThreadState], lock_holder: Dict[Target, Tid],
+          state: _ThreadState, op: Op, thread_markers: bool,
+          ended: set) -> None:
+    kind = op.kind
+    if kind is EventKind.READ:
+        builder.rd(state.tid, op.target, loc=op.loc)
+    elif kind is EventKind.WRITE:
+        builder.wr(state.tid, op.target, loc=op.loc)
+    elif kind is EventKind.VOLATILE_READ:
+        builder.vrd(state.tid, op.target, loc=op.loc)
+    elif kind is EventKind.VOLATILE_WRITE:
+        builder.vwr(state.tid, op.target, loc=op.loc)
+    elif kind is EventKind.ACQUIRE:
+        if op.target in lock_holder:
+            raise SchedulerError(f"{state.tid!r} acquired held lock {op.target!r}")
+        builder.acq(state.tid, op.target, loc=op.loc)
+        lock_holder[op.target] = state.tid
+        state.held.append(op.target)
+    elif kind is EventKind.RELEASE:
+        if lock_holder.get(op.target) != state.tid:
+            raise SchedulerError(
+                f"{state.tid!r} released lock {op.target!r} it does not hold")
+        builder.rel(state.tid, op.target, loc=op.loc)
+        del lock_holder[op.target]
+        state.held.remove(op.target)
+    elif kind is EventKind.FORK:
+        child_tid = _child_tid(program, op.target)
+        if child_tid in threads:
+            raise SchedulerError(f"thread name {op.target!r} reused")
+        assert op.body is not None, "fork op without a body"
+        builder.fork(state.tid, child_tid, loc=op.loc)
+        threads[child_tid] = _ThreadState(tid=child_tid, body=op.body())
+        if thread_markers:
+            builder.begin(child_tid)
+    elif kind is EventKind.JOIN:
+        child_tid = _child_tid(program, op.target)
+        if thread_markers and child_tid not in ended:
+            builder.end(child_tid)
+            ended.add(child_tid)
+        builder.join(state.tid, child_tid, loc=op.loc)
+    else:
+        raise SchedulerError(f"thread body yielded unsupported op {op}")

@@ -1,0 +1,38 @@
+"""DaCapo-analog workloads (the paper's evaluation subjects).
+
+Each module provides ``program(scale) -> Program``; :data:`WORKLOADS`
+maps the DaCapo benchmark names used in the paper's Table 1 to those
+factories, in the paper's order. The paper excludes eclipse, tradebeans,
+tradesoap (unsupported by RoadRunner) and fop (single-threaded); this
+reproduction does the same.
+"""
+
+from repro.runtime.workloads import patterns  # noqa: F401  (import order)
+from repro.runtime.workloads import (
+    avrora,
+    batik,
+    h2,
+    jython,
+    luindex,
+    lusearch,
+    pmd,
+    sunflow,
+    tomcat,
+    xalan,
+)
+
+#: Workload factories keyed by DaCapo program name, in Table 1 order.
+WORKLOADS = {
+    "avrora": avrora.program,
+    "batik": batik.program,
+    "h2": h2.program,
+    "jython": jython.program,
+    "luindex": luindex.program,
+    "lusearch": lusearch.program,
+    "pmd": pmd.program,
+    "sunflow": sunflow.program,
+    "tomcat": tomcat.program,
+    "xalan": xalan.program,
+}
+
+__all__ = ["WORKLOADS", "patterns"]

@@ -1,0 +1,51 @@
+"""batik-analog workload: an SVG rasteriser with tile workers.
+
+DaCapo's batik renders SVG documents. The paper reports zero races for
+it (Table 1), so this analog is deliberately *well synchronised*: tiles
+are handed out under a lock, per-tile pixel state is thread-private, and
+the finished-tile count is lock-protected. The workload exists to show
+the detectors staying silent on a correctly synchronised program of
+realistic shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.program import Op, Program, ops
+from repro.runtime.workloads import patterns
+
+
+def _tile_worker(index: int, tiles: int) -> Iterator[Op]:
+    ns = f"batik.worker{index}"
+    for t in range(tiles):
+        # Claim a tile under the queue lock.
+        yield from patterns.locked_counter(
+            "batik.queueLock", "batik.nextTile", "TileScheduler.next():59")
+        # Rasterise into private buffers.
+        yield from patterns.local_work(ns, 5)
+        # Publish the finished count under the stats lock.
+        yield from patterns.locked_counter(
+            "batik.statsLock", "batik.finishedTiles", "Renderer.done():142")
+
+
+def program(scale: float = 1.0) -> Program:
+    """Build the batik-analog program (race-free by design)."""
+    workers = 4
+    tiles = max(3, int(25 * scale))
+
+    def main() -> Iterator[Op]:
+        yield ops.wr("batik.document", loc="Main.load():31")
+        yield ops.vwr("batik.ready", loc="Main.start():35")
+        for i in range(workers):
+            yield ops.fork(f"worker{i}", lambda i=i: _worker_body(i, tiles))
+        for i in range(workers):
+            yield ops.join(f"worker{i}")
+        yield ops.rd("batik.finishedTiles", loc="Main.report():50")
+
+    def _worker_body(i: int, tiles: int) -> Iterator[Op]:
+        yield ops.vrd("batik.ready", loc="Worker.run():20")
+        yield ops.rd("batik.document", loc="Worker.run():21")
+        yield from _tile_worker(i, tiles)
+
+    return Program(name="batik", main=main)

@@ -1,0 +1,133 @@
+"""h2-analog workload: an embedded SQL database under transaction load.
+
+DaCapo's h2 runs TPC-C-style transactions against the H2 database. The
+paper reports 10–11 statically distinct races (Table 1) with hundreds of
+dynamic instances, and crucially its two *DC-only* races live in H2's
+``StringCache`` (Table 2: ``StringCache.getNew():93 / get():48`` and
+``getNew():83 / get():54``) with event distances up to ~250k.
+
+This analog runs client threads executing transactions against a
+row-locked table. The racy population:
+
+* ten plain HB-racy statistics/bookkeeping fields, touched throughout;
+* a StringCache analog whose entries escape before publication and are
+  read by a client that arrives through an unrelated lock hand-off —
+  Figure 2's shape, giving DC-only races whose event distance grows
+  with the transaction count between escape and read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.program import Op, Program, ops
+from repro.runtime.workloads import patterns
+
+#: Plain HB-racy bookkeeping sites (10, matching Table 1's HB count).
+RACY_SITES = [
+    ("h2.session.openCount", "Session.open():71", "Session.monitor():402"),
+    ("h2.page.dirty", "PageStore.markDirty():233", "PageStore.flush():260"),
+    ("h2.cache.hits", "CacheLRU.hit():118", "CacheLRU.stats():139"),
+    ("h2.cache.size", "CacheLRU.put():97", "CacheLRU.stats():141"),
+    ("h2.tx.lastId", "Transaction.begin():55", "Transaction.log():88"),
+    ("h2.lob.bytes", "LobStorage.add():310", "LobStorage.usage():325"),
+    ("h2.net.packets", "Transfer.send():64", "Transfer.stats():92"),
+    ("h2.index.depth", "BTreeIndex.split():505", "BTreeIndex.info():540"),
+    ("h2.result.rows", "ResultSet.add():150", "ResultSet.size():166"),
+    ("h2.sched.queue", "Scheduler.offer():44", "Scheduler.peek():58"),
+]
+
+
+def _client(index: int, transactions: int, clients: int) -> Iterator[Op]:
+    ns = f"h2.client{index}"
+    for t in range(transactions):
+        # Row-locked update: correct.
+        row_lock = f"h2.rowLock{(index + t) % 4}"
+        yield ops.acq(row_lock)
+        yield ops.rd(f"h2.row{(index + t) % 4}", loc="Table.get():210")
+        yield ops.wr(f"h2.row{(index + t) % 4}", loc="Table.set():214")
+        yield ops.rel(row_lock)
+        # Racy bookkeeping: two sites per transaction.
+        var, wloc, rloc = RACY_SITES[(index + t) % len(RACY_SITES)]
+        if (index + t) % 2 == 0:
+            yield ops.wr(var, loc=wloc)
+        else:
+            yield ops.rd(var, loc=rloc)
+        var, wloc, rloc = RACY_SITES[(index + 3 * t) % len(RACY_SITES)]
+        yield ops.rd(var, loc=rloc)
+        yield from patterns.local_work(ns, 3)
+
+
+def _flush_writer(spacing: int) -> Iterator[Op]:
+    """WCP-only site: the flusher writes the checkpoint id, then runs an
+    unrelated critical section on the flush lock (Figure 1's shape)."""
+    yield from patterns.local_work("h2.flusher", 2)
+    yield from patterns.sync_separated_write(
+        "h2.flushLock", "h2.checkpointId", "h2.flushState",
+        loc="PageStore.checkpoint():610")
+    yield from patterns.local_work("h2.flusher", spacing)
+
+
+def _flush_reader(spacing: int) -> Iterator[Op]:
+    yield from patterns.local_work("h2.flushReader", spacing)
+    yield from patterns.sync_separated_read(
+        "h2.flushLock", "h2.checkpointId", "h2.flushReaderState",
+        loc="PageStore.getCheckpoint():640")
+
+
+def _string_cache_writer(entries: int) -> Iterator[Op]:
+    """StringCache analog, producer side: each entry escapes before its
+    publication under the cache lock (``getNew`` caches a string the
+    caller already holds)."""
+    for entry in range(entries):
+        yield from patterns.publication_escape(
+            "h2.cacheLock", f"h2.stringCache.entry{entry}",
+            f"h2.stringCache.slot{entry}",
+            loc="StringCache.getNew():93")
+        yield from patterns.local_work("h2.cacheWriter", 4)
+
+
+def _string_cache_relay(entries: int) -> Iterator[Op]:
+    for entry in range(entries):
+        yield from patterns.publication_relay(
+            "h2.cacheLock", f"h2.stringCache.slot{entry}",
+            "h2.compactLock", loc="StringCache.get():48")
+        yield from patterns.local_work("h2.cacheRelay", 3)
+
+
+def _string_cache_reader(entries: int, spacing: int) -> Iterator[Op]:
+    """Reader side (``get``): arrives via the compaction lock hand-off —
+    HB- and WCP-ordered after the writer, but not DC-ordered."""
+    yield from patterns.local_work("h2.cacheReader", spacing)
+    for entry in range(entries):
+        yield from patterns.publication_sink(
+            "h2.compactLock", f"h2.stringCache.entry{entry}",
+            loc="StringCache.get():48")
+        yield from patterns.local_work("h2.cacheReader", 2)
+
+
+def program(scale: float = 1.0) -> Program:
+    """Build the h2-analog program."""
+    clients = 4
+    transactions = max(4, int(30 * scale))
+    cache_entries = 2
+
+    def main() -> Iterator[Op]:
+        for i in range(clients):
+            yield ops.fork(
+                f"client{i}", lambda i=i: _client(i, transactions, clients))
+        yield ops.fork("flusher", lambda: _flush_writer(max(4, int(10 * scale))))
+        yield ops.fork("flushReader", lambda: _flush_reader(max(8, int(25 * scale))))
+        yield ops.fork("cacheWriter", lambda: _string_cache_writer(cache_entries))
+        yield ops.fork("cacheRelay", lambda: _string_cache_relay(cache_entries))
+        yield ops.fork(
+            "cacheReader",
+            lambda: _string_cache_reader(cache_entries,
+                                         spacing=max(6, int(20 * scale))))
+        for i in range(clients):
+            yield ops.join(f"client{i}")
+        for name in ("flusher", "flushReader", "cacheWriter", "cacheRelay",
+                     "cacheReader"):
+            yield ops.join(name)
+
+    return Program(name="h2", main=main)

@@ -1,0 +1,53 @@
+"""jython-analog workload: a Python-on-JVM interpreter warm-up.
+
+DaCapo's jython interprets pybench. The paper reports 3 statically
+distinct races with only 3–4 dynamic instances (Table 1): one-shot
+initialisation races on shared interpreter caches, hit once during
+warm-up rather than repeatedly.
+
+The analog forks interpreter threads that race exactly once each on
+three lazily initialised caches (type cache, codec table, import lock
+stats), then spend the rest of the run on correctly synchronised work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.program import Op, Program, ops
+from repro.runtime.workloads import patterns
+
+RACY_SITES = [
+    ("jython.typeCache", "PyType.fromClass():187", "PyType.lookup():201"),
+    ("jython.codecTable", "Codecs.register():66", "Codecs.lookup():80"),
+    ("jython.importStats", "Import.bump():44", "Import.report():52"),
+]
+
+
+def _interpreter(index: int, steps: int) -> Iterator[Op]:
+    ns = f"jython.interp{index}"
+    # One-shot initialisation race during warm-up: each thread touches
+    # one cache without synchronisation, exactly once.
+    var, wloc, rloc = RACY_SITES[index % len(RACY_SITES)]
+    if index % 2 == 0:
+        yield ops.wr(var, loc=wloc)
+    else:
+        yield ops.rd(var, loc=rloc)
+    for step in range(steps):
+        yield from patterns.local_work(ns, 4)
+        yield from patterns.locked_counter(
+            "jython.gilLock", "jython.frameCount", "Frame.enter():120")
+
+
+def program(scale: float = 1.0) -> Program:
+    """Build the jython-analog program."""
+    interpreters = 6
+    steps = max(4, int(30 * scale))
+
+    def main() -> Iterator[Op]:
+        for i in range(interpreters):
+            yield ops.fork(f"interp{i}", lambda i=i: _interpreter(i, steps))
+        for i in range(interpreters):
+            yield ops.join(f"interp{i}")
+
+    return Program(name="jython", main=main)

@@ -1,0 +1,40 @@
+"""luindex-analog workload: a Lucene-style document indexer.
+
+DaCapo's luindex builds a text index. The paper reports exactly one
+statically distinct race with a single dynamic instance (Table 1): a
+one-shot race on a progress/status field between the indexing thread
+and the main thread, while all index structures proper are correctly
+merged under locks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.program import Op, Program, ops
+from repro.runtime.workloads import patterns
+
+
+def _indexer(documents: int) -> Iterator[Op]:
+    for doc in range(documents):
+        yield from patterns.local_work("luindex.indexer", 5)
+        yield from patterns.locked_counter(
+            "luindex.segmentLock", "luindex.segments",
+            "IndexWriter.addDocument():318")
+    # The single racy site: progress is written without holding a lock.
+    yield ops.wr("luindex.progress", loc="IndexWriter.updateProgress():402")
+
+
+def program(scale: float = 1.0) -> Program:
+    """Build the luindex-analog program (exactly one racy site)."""
+    documents = max(3, int(20 * scale))
+
+    def main() -> Iterator[Op]:
+        yield ops.fork("indexer", lambda: _indexer(documents))
+        yield from patterns.local_work("luindex.main", 6)
+        # Main polls progress without synchronisation: the race's other side.
+        yield ops.rd("luindex.progress", loc="Main.poll():77")
+        yield ops.join("indexer")
+        yield ops.rd("luindex.segments", loc="Main.close():81")
+
+    return Program(name="luindex", main=main)

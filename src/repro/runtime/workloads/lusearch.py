@@ -1,0 +1,44 @@
+"""lusearch-analog workload: a Lucene-style parallel query engine.
+
+DaCapo's lusearch runs keyword queries against an index with a pool of
+worker threads. The paper reports zero races (Table 1): each worker owns
+its searcher state, queries are distributed under a lock, and results
+are merged under a lock. This analog mirrors that structure and must
+stay race-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.program import Op, Program, ops
+from repro.runtime.workloads import patterns
+
+
+def _searcher(index: int, queries: int) -> Iterator[Op]:
+    ns = f"lusearch.worker{index}"
+    yield ops.vrd("lusearch.indexReady", loc="Searcher.open():40")
+    yield ops.rd("lusearch.index", loc="Searcher.open():41")
+    for q in range(queries):
+        yield from patterns.locked_counter(
+            "lusearch.queueLock", "lusearch.nextQuery", "QueryQueue.take():66")
+        yield from patterns.local_work(ns, 6)
+        yield from patterns.locked_counter(
+            "lusearch.resultLock", "lusearch.totalHits", "HitCollector.merge():92")
+
+
+def program(scale: float = 1.0) -> Program:
+    """Build the lusearch-analog program (race-free by design)."""
+    workers = 4
+    queries = max(3, int(25 * scale))
+
+    def main() -> Iterator[Op]:
+        yield ops.wr("lusearch.index", loc="Main.loadIndex():28")
+        yield ops.vwr("lusearch.indexReady", loc="Main.loadIndex():30")
+        for i in range(workers):
+            yield ops.fork(f"worker{i}", lambda i=i: _searcher(i, queries))
+        for i in range(workers):
+            yield ops.join(f"worker{i}")
+        yield ops.rd("lusearch.totalHits", loc="Main.report():55")
+
+    return Program(name="lusearch", main=main)

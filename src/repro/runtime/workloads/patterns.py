@@ -1,0 +1,195 @@
+"""Reusable concurrency idioms for the DaCapo-analog workloads.
+
+Each helper is a generator (or generator factory) of
+:class:`~repro.runtime.program.Op` that a workload thread body can
+``yield from``. The idioms are chosen to produce the race populations
+the paper's Table 1 reports:
+
+* :func:`hb_racy_access` — plain unsynchronised conflicting accesses:
+  HB-races in most observed interleavings.
+* :func:`sync_separated_access` — Figure 1's shape: the racing accesses
+  sit outside empty (or unrelated) critical sections on a common lock,
+  so the observed interleaving usually orders them by HB
+  synchronisation order while WCP leaves them unordered → *WCP-only*
+  races.
+* :func:`publication_chain` pieces — Figure 2's shape: a value escapes
+  before a lock-protected publication that a second thread consumes and
+  re-publishes through an *unrelated* lock handoff to a third thread.
+  HB and WCP both order the endpoints (WCP through its HB composition),
+  DC does not → *DC-only* races, with event distance proportional to
+  the work between the endpoints.
+* :func:`locked_counter`, :func:`volatile_publish` — properly
+  synchronised idioms that must produce no races at all.
+
+The ``loc`` strings mimic RoadRunner's class/method/line identifiers so
+dynamic races aggregate into statically distinct races as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.program import Op, ops
+
+
+def local_work(ns: str, n: int) -> Iterator[Op]:
+    """Thread-private busywork: ``n`` read/write pairs on private
+    variables. Used to space racy accesses apart (event distance) and to
+    bias scheduling without creating ordering."""
+    for i in range(n):
+        var = f"{ns}.local{i % 7}"
+        yield ops.wr(var, loc=f"{ns}.compute():{40 + (i % 7)}")
+        yield ops.rd(var, loc=f"{ns}.compute():{48 + (i % 7)}")
+
+
+def locked_counter(lock: str, var: str, loc: str, bump: int = 1) -> Iterator[Op]:
+    """A correctly lock-protected read-modify-write (no race)."""
+    yield ops.acq(lock)
+    for _ in range(bump):
+        yield ops.rd(var, loc=loc)
+        yield ops.wr(var, loc=loc)
+    yield ops.rel(lock)
+
+
+def volatile_publish(flag: str, payload: str, loc: str) -> Iterator[Op]:
+    """Producer half of a correctly synchronised volatile publication."""
+    yield ops.wr(payload, loc=loc)
+    yield ops.vwr(flag, loc=loc)
+
+
+def volatile_consume(flag: str, payload: str, loc: str) -> Iterator[Op]:
+    """Consumer half of a volatile publication (ordered, no race)."""
+    yield ops.vrd(flag, loc=loc)
+    yield ops.rd(payload, loc=loc)
+
+
+def hb_racy_access(var: str, loc: str, write: bool = True) -> Iterator[Op]:
+    """One side of a plain unsynchronised racy access (an HB-race when
+    another thread touches ``var`` conflictingly)."""
+    if write:
+        yield ops.wr(var, loc=loc)
+    else:
+        yield ops.rd(var, loc=loc)
+
+
+def sync_separated_write(lock: str, var: str, guarded: str,
+                         loc: str) -> Iterator[Op]:
+    """First half of Figure 1's WCP-only race: write the racy variable,
+    then run a critical section touching only unrelated guarded state."""
+    yield ops.wr(var, loc=loc)
+    yield ops.acq(lock)
+    yield ops.wr(guarded, loc=f"{loc}/guarded")
+    yield ops.rel(lock)
+
+
+def sync_separated_read(lock: str, var: str, guarded_other: str,
+                        loc: str) -> Iterator[Op]:
+    """Second half of Figure 1's WCP-only race: a critical section on the
+    same lock touching different guarded state, then the racy read.
+    When the observed schedule runs this after the writer, the accesses
+    are HB-ordered (sync order) but WCP leaves them unordered."""
+    yield ops.acq(lock)
+    yield ops.rd(guarded_other, loc=f"{loc}/guarded")
+    yield ops.rel(lock)
+    yield ops.rd(var, loc=loc)
+
+
+def publication_escape(lock: str, var: str, guarded: str,
+                       loc: str) -> Iterator[Op]:
+    """Stage 1 of Figure 2's DC-only race (producer): the racy value
+    escapes *before* the lock-protected publication."""
+    yield ops.wr(var, loc=loc)
+    yield ops.acq(lock)
+    yield ops.wr(guarded, loc=f"{loc}/publish")
+    yield ops.rel(lock)
+
+
+def publication_relay(pub_lock: str, guarded: str, relay_lock: str,
+                      loc: str) -> Iterator[Op]:
+    """Stage 2 (relay thread): consume the publication under the first
+    lock, then touch an unrelated lock whose hand-off HB-orders (but
+    does not WCP-order) the final reader after this thread."""
+    yield ops.acq(pub_lock)
+    yield ops.rd(guarded, loc=f"{loc}/consume")
+    yield ops.rel(pub_lock)
+    yield ops.acq(relay_lock)
+    yield ops.rel(relay_lock)
+
+
+def publication_sink(relay_lock: str, var: str, loc: str) -> Iterator[Op]:
+    """Stage 3 (reader thread): pass through the relay lock, then read
+    the escaped value — a DC-only race with the stage-1 write."""
+    yield ops.acq(relay_lock)
+    yield ops.rel(relay_lock)
+    yield ops.rd(var, loc=loc)
+
+
+def ls_chain_holder(lock_m: str, var: str, loc: str,
+                    dwell: int) -> Iterator[Op]:
+    """Figure 3-shaped DC-only race, thread A: holds the iterator lock
+    for a while and reads the racy field late in the critical section
+    (its read HB-races with the writer; the forced order then carries
+    the late reader's DC-only race)."""
+    yield ops.acq(lock_m)
+    yield from local_work(f"{loc}/holder", dwell)
+    yield ops.rd(var, loc=loc)
+    yield ops.rel(lock_m)
+
+
+def ls_chain_writer(lock_l: str, var: str, loc: str,
+                    lead: int) -> Iterator[Op]:
+    """Figure 3-shaped race, thread B: passes through the registry lock,
+    then writes the racy field without synchronisation."""
+    yield from local_work(f"{loc}/writer", lead)
+    yield ops.acq(lock_l)
+    yield ops.rel(lock_l)
+    yield ops.wr(var, loc=loc)
+
+
+def ls_chain_late_reader(lock_l: str, lock_m: str, var: str, loc: str,
+                         delay: int) -> Iterator[Op]:
+    """Figure 3-shaped race, thread C: arrives last, takes both locks
+    nested, and reads the racy field — a DC-only race whose vindication
+    must add a lock-semantics constraint to fully order the registry
+    critical sections."""
+    yield from local_work(f"{loc}/late", delay)
+    yield ops.acq(lock_l)
+    yield ops.acq(lock_m)
+    yield ops.rd(var, loc=loc)
+    yield ops.rel(lock_m)
+    yield ops.rel(lock_l)
+
+
+def retry_chain_locker(lock: str, var: str, other: str, loc: str,
+                       gap: int) -> Iterator[Op]:
+    """Retry-shaped race, thread B: two short critical sections writing
+    the racy fields, separated by a pause."""
+    yield ops.acq(lock)
+    yield ops.wr(var, loc=f"{loc}/first")
+    yield ops.rel(lock)
+    yield from local_work(f"{loc}/locker", gap)
+    yield ops.acq(lock)
+    yield ops.wr(other, loc=f"{loc}/second")
+    yield ops.rel(lock)
+
+
+def retry_chain_writer(var: str, other: str, loc: str, lead: int,
+                       gap: int) -> Iterator[Op]:
+    """Retry-shaped race, thread A: unsynchronised writes interleaving
+    with the locker's critical sections."""
+    yield from local_work(f"{loc}/writerlead", lead)
+    yield ops.wr(var, loc=loc)
+    yield from local_work(f"{loc}/writergap", gap)
+    yield ops.wr(other, loc=f"{loc}/other")
+
+
+def retry_chain_reader(lock: str, var: str, loc: str,
+                       delay: int) -> Iterator[Op]:
+    """Retry-shaped race, thread C: passes through the lock late and
+    reads the racy field; witness construction stalls on the locker's
+    second critical section and must pull in its release (the paper's
+    missing-release retry)."""
+    yield from local_work(f"{loc}/reader", delay)
+    yield ops.acq(lock)
+    yield ops.rel(lock)
+    yield ops.rd(var, loc=loc)

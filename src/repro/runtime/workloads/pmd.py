@@ -1,0 +1,84 @@
+"""pmd-analog workload: a static source-code analyser with file workers.
+
+DaCapo's pmd analyses Java sources against rulesets. The paper reports
+4 HB/WCP static races and a fifth DC-only one (Table 1: 4→4→5; Table 2
+lists two pmd DC-only candidates, ``PMD.getSourceTypeOfFile():152 /
+PMD.<init>():57`` and ``setExcludeMarker():234 / processFile():96``).
+
+The analog's worker pool takes files from a locked queue and applies
+rules. Its racy population: four plain HB-racy configuration/statistics
+fields, plus a DC-only pair built like Figure 2 — the constructor's
+configuration write escapes before a lock-protected registration that
+reaches a late worker through an unrelated queue-lock hand-off.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.program import Op, Program, ops
+from repro.runtime.workloads import patterns
+
+RACY_SITES = [
+    ("pmd.report.size", "Report.addViolation():130", "Report.size():141"),
+    ("pmd.ruleContext", "RuleContext.set():63", "RuleContext.get():70"),
+    ("pmd.fileCount", "PMD.processFile():96", "PMD.progress():101"),
+    ("pmd.violations", "Rule.apply():220", "Renderer.render():88"),
+]
+
+
+def _worker(index: int, files: int) -> Iterator[Op]:
+    ns = f"pmd.worker{index}"
+    for f in range(files):
+        yield from patterns.locked_counter(
+            "pmd.queueLock", "pmd.nextFile", "FileQueue.take():49")
+        yield from patterns.local_work(ns, 4)
+        for k in range(2):
+            site = (index + f + k) % len(RACY_SITES)
+            var, wloc, rloc = RACY_SITES[site]
+            if site % 4 == index % 4:
+                yield ops.wr(var, loc=wloc)
+            else:
+                yield ops.rd(var, loc=rloc)
+
+
+def _config_relay(files: int) -> Iterator[Op]:
+    """Consumes the registered source-type table under the config lock,
+    then passes through the marker lock (Figure 2's relay)."""
+    yield from patterns.local_work("pmd.relay", 3)
+    yield from patterns.publication_relay(
+        "pmd.configLock", "pmd.sourceTypeTable", "pmd.markerLock",
+        loc="PMD.getSourceTypeOfFile():152")
+    yield from patterns.local_work("pmd.relay", 2 * files)
+
+
+def _late_worker(files: int) -> Iterator[Op]:
+    """Reads the escaped configuration long after construction — the
+    DC-only race with ``PMD.<init>()``'s escaping write."""
+    yield from patterns.local_work("pmd.lateWorker", 3 * files)
+    yield from patterns.publication_sink(
+        "pmd.markerLock", "pmd.sourceType", loc="PMD.getSourceTypeOfFile():152")
+
+
+def program(scale: float = 1.0) -> Program:
+    """Build the pmd-analog program."""
+    workers = 4
+    files = max(3, int(20 * scale))
+
+    def main() -> Iterator[Op]:
+        for i in range(workers):
+            yield ops.fork(f"worker{i}", lambda i=i: _worker(i, files))
+        yield ops.fork("relay", lambda: _config_relay(files))
+        yield ops.fork("lateWorker", lambda: _late_worker(files))
+        # PMD.<init>: the configuration escapes before registration. This
+        # must come *after* the forks — a fork edge would order the
+        # escaping write before every child event and erase the race.
+        yield from patterns.publication_escape(
+            "pmd.configLock", "pmd.sourceType", "pmd.sourceTypeTable",
+            loc="PMD.<init>():57")
+        for i in range(workers):
+            yield ops.join(f"worker{i}")
+        yield ops.join("relay")
+        yield ops.join("lateWorker")
+
+    return Program(name="pmd", main=main)

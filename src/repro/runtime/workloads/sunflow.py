@@ -1,0 +1,56 @@
+"""sunflow-analog workload: a multi-threaded ray tracer.
+
+DaCapo's sunflow renders a scene with bucket workers. The paper reports
+2 statically distinct races with 8–14 dynamic instances (Table 1; DC
+adds dynamic instances but no new static sites). The analog's workers
+render buckets from a locked queue; two shared display fields — the
+image's dirty-region bounds and the sample counter — are updated
+racily a few times per worker.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.program import Op, Program, ops
+from repro.runtime.workloads import patterns
+
+RACY_SITES = [
+    ("sunflow.dirtyBounds", "Display.imageUpdate():174", "Display.repaint():188"),
+    ("sunflow.sampleCount", "ImageSampler.stats():231", "UserInterface.print():66"),
+]
+
+
+def _bucket_worker(index: int, buckets: int) -> Iterator[Op]:
+    ns = f"sunflow.worker{index}"
+    for b in range(buckets):
+        yield from patterns.locked_counter(
+            "sunflow.bucketLock", "sunflow.nextBucket", "BucketOrder.next():83")
+        yield from patterns.local_work(ns, 6)
+        if b % 3 == 0:
+            var, wloc, rloc = RACY_SITES[(index + b) % len(RACY_SITES)]
+            if index % 2 == 0:
+                yield ops.wr(var, loc=wloc)
+            else:
+                yield ops.rd(var, loc=rloc)
+
+
+def program(scale: float = 1.0) -> Program:
+    """Build the sunflow-analog program."""
+    workers = 4
+    buckets = max(3, int(24 * scale))
+
+    def main() -> Iterator[Op]:
+        yield ops.wr("sunflow.scene", loc="SunflowAPI.build():90")
+        yield ops.vwr("sunflow.sceneReady", loc="SunflowAPI.render():101")
+        for i in range(workers):
+            yield ops.fork(f"worker{i}", lambda i=i: _render_body(i, buckets))
+        for i in range(workers):
+            yield ops.join(f"worker{i}")
+
+    def _render_body(i: int, buckets: int) -> Iterator[Op]:
+        yield ops.vrd("sunflow.sceneReady", loc="RenderThread.run():22")
+        yield ops.rd("sunflow.scene", loc="RenderThread.run():23")
+        yield from _bucket_worker(i, buckets)
+
+    return Program(name="sunflow", main=main)

@@ -1,0 +1,183 @@
+"""xalan-analog workload: an XSLT transformer with a shared buffer pool.
+
+DaCapo's xalan is the paper's star witness. Table 1 reports 4 HB static
+races but 63 WCP and 67 DC static races: most of xalan's races are
+*WCP-only* — the observed schedule happens to order them through
+unrelated critical sections on the shared pool lock (HB synchronisation
+order), which WCP deliberately ignores — and four static sites are
+*DC-only* (Table 2's ``FastStringBuffer`` and ``LocPathIterator``
+races), with the longest event distances in the whole evaluation
+(up to ~72M events).
+
+The analog has:
+
+* ``workers`` transformer threads, each writing per-chunk output
+  buffers *without* synchronisation and then updating its own slot of
+  pool bookkeeping under the pool lock;
+* a collector thread that periodically passes through the pool lock
+  (touching only its own bookkeeping) and then reads the output
+  buffers — racy reads that the observed schedule HB-orders via the
+  pool lock's release→acquire chain, but WCP does not (Figure 1's
+  shape): the WCP-only population;
+* a ``FastStringBuffer`` chain per Figure 2: the buffer's initial size
+  field escapes in the constructor, is published under the buffer
+  lock, relayed through the iterator lock by a second thread, and read
+  by a late appender — DC-only races with the workload's largest event
+  distances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.program import Op, Program, ops
+from repro.runtime.workloads import patterns
+
+#: Number of racy output-buffer sites (the WCP-only population).
+BUFFER_SITES = 15
+
+#: Plain HB-racy sites (Table 1: 4 HB static races).
+HB_SITES = [
+    ("xalan.errorCount", "TransformerImpl.fatalError():801", "Main.report():92"),
+    ("xalan.lastDocId", "DTMManager.getDTM():344", "DTMManager.release():361"),
+    ("xalan.outputProps", "Serializer.setProp():118", "Serializer.flush():140"),
+    ("xalan.uriCache", "URIResolver.resolve():77", "URIResolver.clear():85"),
+]
+
+
+def _transformer(index: int, chunks: int, sites_per_worker: int) -> Iterator[Op]:
+    ns = f"xalan.worker{index}"
+    for c in range(chunks):
+        # Each worker owns its buffer sites, so the only conflicting
+        # access to a buffer is the collector's read (one static
+        # write/read pair per site).
+        site = index * sites_per_worker + (c % sites_per_worker)
+        yield from patterns.local_work(ns, 2)
+        # Racy buffer write, then unrelated pool bookkeeping under the
+        # pool lock (Figure 1's WCP-only shape).
+        yield from patterns.sync_separated_write(
+            "xalan.poolLock", f"xalan.outputBuffer{site}",
+            f"xalan.poolSlot{index}",
+            loc=f"SerializationHandler.characters():{610 + site}")
+        if c % 5 == index % 5:
+            var, wloc, rloc = HB_SITES[(index + c) % len(HB_SITES)]
+            if index % 2 == 0:
+                yield ops.wr(var, loc=wloc)
+            else:
+                yield ops.rd(var, loc=rloc)
+
+
+def _collector(n_sites: int, delay: int) -> Iterator[Op]:
+    # The collector serialises output after the transforms have mostly
+    # finished (realistically: serialisation follows transformation), so
+    # its racy reads are usually HB-ordered after the buffer writes via
+    # the pool lock's release->acquire chain -- the WCP-only population.
+    yield from patterns.local_work("xalan.collector", delay)
+    for site in range(n_sites):
+        yield from patterns.sync_separated_read(
+            "xalan.poolLock", f"xalan.outputBuffer{site}",
+            "xalan.poolSlotCollector",
+            loc=f"ToStream.flushPending():{215 + site}")
+        yield from patterns.local_work("xalan.collector", 2)
+
+
+def _fsb_constructor(buffers: int, spacing: int) -> Iterator[Op]:
+    """FastStringBuffer.<init>: the size field escapes, then the buffer
+    registers itself under the buffer lock."""
+    for b in range(buffers):
+        yield from patterns.publication_escape(
+            "xalan.bufferLock", f"xalan.fsb{b}.size", f"xalan.fsbTable{b}",
+            loc="FastStringBuffer.<init>():210")
+        yield from patterns.local_work("xalan.fsbInit", spacing)
+
+
+def _fsb_relay(buffers: int, spacing: int) -> Iterator[Op]:
+    yield from patterns.local_work("xalan.fsbRelay", spacing)
+    for b in range(buffers):
+        yield from patterns.local_work("xalan.fsbRelay", spacing // 2)
+        yield from patterns.publication_relay(
+            "xalan.bufferLock", f"xalan.fsbTable{b}", "xalan.iterLock",
+            loc="LocPathIterator.setRoot():369")
+
+
+def _fsb_appender(buffers: int, spacing: int) -> Iterator[Op]:
+    """FastStringBuffer.append(): reads the escaped size field long
+    after construction — the workload's longest-distance DC-only races."""
+    yield from patterns.local_work("xalan.fsbAppend", 4 * spacing)
+    for b in range(buffers):
+        yield from patterns.publication_sink(
+            "xalan.iterLock", f"xalan.fsb{b}.size",
+            loc=f"FastStringBuffer.append():{488 + 165 * (b % 2)}")
+        yield from patterns.local_work("xalan.fsbAppend", spacing)
+
+
+def _iter_holder(dwell: int) -> Iterator[Op]:
+    yield from patterns.ls_chain_holder(
+        "xalan.iterPoolLock", "xalan.iterRoot",
+        "LocPathIterator.setRoot():369", dwell)
+
+
+def _iter_writer(lead: int) -> Iterator[Op]:
+    yield from patterns.ls_chain_writer(
+        "xalan.iterRegistryLock", "xalan.iterRoot",
+        "LocPathIterator.setRoot():370", lead)
+
+
+def _iter_late_reader(delay: int) -> Iterator[Op]:
+    yield from patterns.ls_chain_late_reader(
+        "xalan.iterRegistryLock", "xalan.iterPoolLock", "xalan.iterRoot",
+        "AttributeIterator.getNextNode():56", delay)
+
+
+def _onestep_locker(gap: int) -> Iterator[Op]:
+    yield from patterns.retry_chain_locker(
+        "xalan.oneStepLock", "xalan.oneStepRoot", "xalan.oneStepPos",
+        "OneStepIterator.setRoot():97", gap)
+
+
+def _onestep_writer(lead: int, gap: int) -> Iterator[Op]:
+    yield from patterns.retry_chain_writer(
+        "xalan.oneStepRoot", "xalan.oneStepPos",
+        "OneStepIterator.setRoot():97", lead, gap)
+
+
+def _onestep_reader(delay: int) -> Iterator[Op]:
+    yield from patterns.retry_chain_reader(
+        "xalan.oneStepLock", "xalan.oneStepRoot",
+        "OneStepIterator.detach():120", delay)
+
+
+def program(scale: float = 1.0) -> Program:
+    """Build the xalan-analog program."""
+    workers = 5
+    sites_per_worker = 3
+    chunks = max(4, int(20 * scale))
+    fsb_buffers = 4
+    spacing = max(8, int(30 * scale))
+    # Collector delay: roughly the workers' aggregate work, so buffer
+    # reads land after the writes under most schedules.
+    delay = workers * chunks * 4
+
+    def main() -> Iterator[Op]:
+        for i in range(workers):
+            yield ops.fork(f"worker{i}",
+                           lambda i=i: _transformer(i, chunks, sites_per_worker))
+        yield ops.fork("collector",
+                       lambda: _collector(workers * sites_per_worker, delay))
+        yield ops.fork("fsbInit", lambda: _fsb_constructor(fsb_buffers, spacing))
+        yield ops.fork("fsbRelay", lambda: _fsb_relay(fsb_buffers, spacing))
+        yield ops.fork("fsbAppend", lambda: _fsb_appender(fsb_buffers, spacing))
+        yield ops.fork("iterHolder", lambda: _iter_holder(dwell=12))
+        yield ops.fork("iterWriter", lambda: _iter_writer(lead=6))
+        yield ops.fork("iterReader", lambda: _iter_late_reader(delay=30))
+        yield ops.fork("oneStepLocker", lambda: _onestep_locker(gap=14))
+        yield ops.fork("oneStepWriter", lambda: _onestep_writer(lead=6, gap=1))
+        yield ops.fork("oneStepReader", lambda: _onestep_reader(delay=36))
+        for i in range(workers):
+            yield ops.join(f"worker{i}")
+        for name in ("collector", "fsbInit", "fsbRelay", "fsbAppend",
+                     "iterHolder", "iterWriter", "iterReader",
+                     "oneStepLocker", "oneStepWriter", "oneStepReader"):
+            yield ops.join(name)
+
+    return Program(name="xalan", main=main)

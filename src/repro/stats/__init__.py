@@ -1,0 +1,27 @@
+"""Statistics helpers for the evaluation: distances, CDFs."""
+
+from repro.stats.distances import (
+    DistanceRange,
+    distance_range,
+    distances_by_class,
+    static_distance_ranges,
+)
+from repro.stats.cdf import (
+    ascii_cdf_plot,
+    cdf_csv,
+    median,
+    percentage_at_least,
+    survival_series,
+)
+
+__all__ = [
+    "DistanceRange",
+    "ascii_cdf_plot",
+    "cdf_csv",
+    "distance_range",
+    "distances_by_class",
+    "median",
+    "percentage_at_least",
+    "static_distance_ranges",
+    "survival_series",
+]

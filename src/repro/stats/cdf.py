@@ -1,0 +1,89 @@
+"""Cumulative distributions and text rendering (Figure 6).
+
+Figure 6 plots, for each race class, the percentage of dynamic races
+whose event distance is *at least* x — a complementary CDF on a log-x
+axis. This module computes those series and renders them as an ASCII
+plot / CSV so the benchmark harness can regenerate the figure without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def survival_series(values: Sequence[int]) -> List[Tuple[int, float]]:
+    """The complementary CDF of ``values``: sorted ``(x, pct)`` pairs where
+    ``pct`` is the percentage of values ≥ x."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    series: List[Tuple[int, float]] = []
+    for i, x in enumerate(ordered):
+        if i > 0 and x == ordered[i - 1]:
+            continue  # one point per distinct x: the fraction ≥ x
+        series.append((x, 100.0 * (n - i) / n))
+    return series
+
+
+def percentage_at_least(values: Sequence[int], threshold: int) -> float:
+    """Percentage of values ≥ threshold (a single Figure 6 read-off)."""
+    if not values:
+        return 0.0
+    return 100.0 * sum(1 for v in values if v >= threshold) / len(values)
+
+
+def median(values: Sequence[int]) -> float:
+    """The median (50th-percentile read-off of Figure 6's series)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def ascii_cdf_plot(series: Dict[str, Sequence[int]], width: int = 64,
+                   height: int = 16) -> str:
+    """Render survival curves as an ASCII plot with a log-scaled x axis.
+
+    Args:
+        series: Label -> event distances.
+        width, height: Plot dimensions in characters.
+    """
+    nonempty = {k: v for k, v in series.items() if v}
+    if not nonempty:
+        return "(no dynamic races)"
+    max_x = max(max(v) for v in nonempty.values())
+    log_max = max(1.0, math.log10(max_x))
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@"
+    legend = []
+    for idx, (label, values) in enumerate(nonempty.items()):
+        marker = markers[idx % len(markers)]
+        legend.append(f"  {marker} {label} (n={len(values)})")
+        for x, pct in survival_series(values):
+            col = int(round(math.log10(max(x, 1)) / log_max * (width - 1)))
+            row = int(round((100.0 - pct) / 100.0 * (height - 1)))
+            grid[row][col] = marker
+    lines = ["% of dynamic races with at least the given event distance"]
+    for i, row in enumerate(grid):
+        pct_label = 100 - int(round(i / (height - 1) * 100))
+        lines.append(f"{pct_label:3d}% |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      1 ... log10(event distance) ... {max_x:,}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def cdf_csv(series: Dict[str, Sequence[int]]) -> str:
+    """The survival series as CSV (``class,distance,percent``)."""
+    rows = ["class,event_distance,percent_at_least"]
+    for label, values in series.items():
+        for x, pct in survival_series(values):
+            rows.append(f"{label},{x},{pct:.2f}")
+    return "\n".join(rows)

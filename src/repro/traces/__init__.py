@@ -1,0 +1,21 @@
+"""Trace sources: paper litmus executions, random generation, IO, shrinking."""
+
+from repro.traces.gen import GeneratorConfig, random_trace, random_traces
+from repro.traces.io import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.traces.minimize import minimize_trace
+from repro.traces.render import render_columns, render_witness
+from repro.traces import litmus
+
+__all__ = [
+    "GeneratorConfig",
+    "dump_trace",
+    "dumps_trace",
+    "litmus",
+    "load_trace",
+    "loads_trace",
+    "minimize_trace",
+    "random_trace",
+    "random_traces",
+    "render_columns",
+    "render_witness",
+]

@@ -1,0 +1,103 @@
+"""Plain-text trace format: reading and writing execution traces.
+
+The format is line-oriented, one event per line, in trace order::
+
+    # comments and blank lines are ignored
+    T1 wr x    Loader.load():42
+    T1 acq m
+    T2 rd x    Cache.get():17
+    T1 fork T3
+
+Fields are whitespace-separated: thread id, operation, target (omitted
+for ``begin``/``end``), and an optional source location. Operations are
+the short names of :class:`~repro.core.events.EventKind` (``rd``, ``wr``,
+``acq``, ``rel``, ``fork``, ``join``, ``begin``, ``end``, ``vwr``,
+``vrd``). This is the interchange format accepted by the CLI, so traces
+collected from other tools can be vindicated offline.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.core.events import Event, EventKind
+from repro.core.exceptions import TraceFormatError
+from repro.core.trace import Trace
+
+_KIND_BY_NAME = {kind.value: kind for kind in EventKind}
+_NO_TARGET = (EventKind.BEGIN, EventKind.END)
+
+
+def dump_trace(trace: Trace, target: Union[str, Path, TextIO]) -> None:
+    """Write ``trace`` in the text format to a path or open file."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            _write(trace, handle)
+    else:
+        _write(trace, target)
+
+
+def dumps_trace(trace: Trace) -> str:
+    """The text-format rendering of ``trace``."""
+    buffer = io.StringIO()
+    _write(trace, buffer)
+    return buffer.getvalue()
+
+
+def _write(trace: Trace, handle: TextIO) -> None:
+    handle.write("# repro trace: {} events, {} threads\n".format(
+        len(trace), len(trace.threads)))
+    for e in trace:
+        parts = [str(e.tid), e.kind.value]
+        if e.kind not in _NO_TARGET:
+            parts.append(str(e.target))
+        if e.loc is not None:
+            parts.append(str(e.loc))
+        handle.write(" ".join(parts) + "\n")
+
+
+def load_trace(source: Union[str, Path, TextIO], validate: bool = True) -> Trace:
+    """Parse a text-format trace from a path or open file."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read(handle, validate)
+    return _read(source, validate)
+
+
+def loads_trace(text: str, validate: bool = True) -> Trace:
+    """Parse a text-format trace from a string."""
+    return _read(io.StringIO(text), validate)
+
+
+def _read(handle: TextIO, validate: bool) -> Trace:
+    events = []
+    for number, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 3)
+        if len(parts) < 2:
+            raise TraceFormatError("expected '<tid> <op> [target] [loc]'",
+                                   line_number=number)
+        tid, op = parts[0], parts[1]
+        kind = _KIND_BY_NAME.get(op)
+        if kind is None:
+            raise TraceFormatError(f"unknown operation {op!r}", line_number=number)
+        if kind in _NO_TARGET:
+            target = None
+            loc = parts[2] if len(parts) > 2 else None
+            if len(parts) > 3:
+                loc = f"{parts[2]} {parts[3]}"
+        else:
+            if len(parts) < 3:
+                raise TraceFormatError(f"operation {op!r} needs a target",
+                                       line_number=number)
+            target = parts[2]
+            loc = parts[3] if len(parts) > 3 else None
+        events.append(Event(len(events), tid, kind, target, loc))
+    try:
+        return Trace(events, validate=validate)
+    except Exception as exc:
+        raise TraceFormatError(f"structurally invalid trace: {exc}") from exc

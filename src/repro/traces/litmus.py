@@ -1,0 +1,266 @@
+"""Litmus traces: the paper's example executions.
+
+Figures 1(a) and 2(a) are transcribed exactly from the paper's text. The
+paper's remaining example executions (Figure 3(a), Figures 4(a)/4(b),
+and the Appendix C executions) appear only as images that are
+unavailable in the source text, so this module provides
+*behaviour-equivalent reconstructions*: small executions — found by
+random search plus delta-debugging minimisation
+(:mod:`repro.traces.minimize`) and validated against the brute-force
+oracle — that exhibit exactly the properties the paper ascribes to the
+originals:
+
+* :func:`figure3` — a *DC-only* race (a DC-race that is not a WCP-race)
+  that is a true predictable race and whose vindication must add a
+  lock-semantics constraint;
+* :func:`retry_case` — a DC-only true race whose witness construction
+  stalls on a release outside the needed set, exercising the paper's
+  "Retrying construction" path (ATTEMPTTOCONSTRUCTTRACE returns a
+  missing release and is called again);
+* :func:`figure4a` — a *false* DC-race: AddConstraints derives a
+  constraint cycle through two critical sections on one lock (the
+  paper's Figure 5(b) scenario) and VindicateRace answers *no race*;
+* :func:`figure4b` — a false DC-race refuted by a cycle through
+  conflicting-access constraints alone (no locks involved).
+
+The false races in :func:`figure4a`/:func:`figure4b` are *dependent* on
+earlier races in the trace, so they surface only under component-only
+race forcing (``transitive_force=False`` on the detectors or the
+:class:`~repro.vindicate.vindicator.Vindicator`); with the default
+transitive forcing the detector itself suppresses them, matching the
+paper's experience that every reported DC-race was a true race.
+Additionally:
+* :func:`appendix_c_greedy` — an execution where the greedy
+  latest-in-trace-order choice constructs a witness while the
+  ``earliest`` policy fails (*don't know*), demonstrating both the
+  paper's key greedy insight and the constructor's incompleteness;
+* :func:`wcp_deadlock` — a hand-crafted WCP-race that is a predictable
+  *deadlock* rather than a predictable race: VindicateRace refutes it
+  with a cycle of pure lock-semantics constraints (no prior races
+  involved), exhibiting WCP's soundness caveat.
+
+* :func:`appendix_c_incomplete` — an execution where the *latest*
+  policy itself fails (*don't know*) on a true race that other policies
+  and the oracle can witness: the greedy constructor's incompleteness,
+  exactly as Appendix C describes.
+
+One Appendix C behaviour — a constraint graph that stays acyclic even
+though no predictable race exists — did not occur in ~150,000 random
+traces (such executions require intricately crossed critical-section
+dependencies; the closest shape, :func:`wcp_deadlock`, is caught by a
+constraint cycle instead). This matches the paper's own report that its
+experiments encountered only acyclic graphs that all vindicated.
+
+Each function returns a fresh :class:`~repro.core.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from repro.core.trace import Trace, TraceBuilder
+
+
+def figure1() -> Trace:
+    """Figure 1(a): no HB-race, but a WCP-race and a predictable race
+    between ``wr(x)`` (event 0) and ``rd(x)`` (event 7)."""
+    return (TraceBuilder()
+            .wr(1, "x")
+            .acq(1, "m")
+            .wr(1, "z")
+            .rel(1, "m")
+            .acq(2, "m")
+            .rd(2, "y")
+            .rel(2, "m")
+            .rd(2, "x")
+            .build())
+
+
+def figure2() -> Trace:
+    """Figure 2(a): no WCP-race, but a DC-race and a predictable race
+    between ``wr(x)`` (event 0) and ``rd(x)`` (event 11). Exposing the
+    race requires the critical sections on ``m`` to run in the opposite
+    order, which WCP's composition with synchronisation order forbids.
+
+    VindicateRace adds exactly one consecutive-event constraint (from
+    ``rd(x)``'s predecessor ``rel(m)`` to ``wr(x)``) and no LS
+    constraints — the paper's Figure 5(a) walk-through."""
+    return (TraceBuilder()
+            .wr(1, "x")
+            .acq(1, "o")
+            .wr(1, "y")
+            .rel(1, "o")
+            .acq(2, "o")
+            .rd(2, "y")
+            .rel(2, "o")
+            .acq(2, "m")
+            .rel(2, "m")
+            .acq(3, "m")
+            .rel(3, "m")
+            .rd(3, "x")
+            .build())
+
+
+def figure3() -> Trace:
+    """A Figure 3(a)-equivalent execution (reconstruction).
+
+    The race between ``wr(x)`` (event 3) and ``rd(x)`` (event 8) is a
+    DC-race but not a WCP-race, it is a true predictable race, and its
+    vindication must add a lock-semantics constraint to fully order the
+    critical sections on ``m`` (checked in ``tests/test_litmus.py``).
+    The trace also contains an incidental HB-race on ``x`` (events 3
+    and 4), whose forced ordering the DC-only race depends on."""
+    return (TraceBuilder()
+            .acq(1, "m")
+            .acq(2, "l")
+            .rel(2, "l")
+            .wr(2, "x")     # 3: e1 of the DC-only race
+            .rd(1, "x")     # 4: HB-races with event 3
+            .rel(1, "m")
+            .acq(3, "l")
+            .acq(3, "m")
+            .rd(3, "x")     # 8: e2 of the DC-only race
+            .rel(3, "m")
+            .rel(3, "l")
+            .build())
+
+
+def retry_case() -> Trace:
+    """A DC-only predictable race whose witness construction needs the
+    missing-release retry (CONSTRUCTREORDEREDTRACE calls
+    ATTEMPTTOCONSTRUCTTRACE twice) — the paper's Section 5.3
+    "Retrying construction" scenario, reconstructed.
+
+    The DC-only race is between ``wr(x)`` (event 2) and ``rd(x)``
+    (event 10)."""
+    return (TraceBuilder()
+            .acq(2, "m")
+            .wr(2, "x")
+            .wr(1, "x")     # 2: e1 of the DC-only race
+            .rel(2, "m")
+            .acq(2, "m")
+            .wr(1, "y")
+            .wr(2, "y")
+            .rel(2, "m")
+            .acq(3, "m")
+            .rel(3, "m")
+            .rd(3, "x")     # 10: e2 of the DC-only race
+            .build())
+
+
+def figure4a() -> Trace:
+    """A Figure 4(a)-equivalent execution (reconstruction): the DC-race
+    between ``wr(x)`` (event 2) and ``wr(x)`` (event 7) is *not* a
+    predictable race — AddConstraints derives a constraint cycle through
+    the two critical sections on ``m`` (one LS constraint is added
+    before the cycle closes, the paper's Figure 5(b) mechanics)."""
+    return (TraceBuilder()
+            .acq(3, "m")
+            .rel(3, "m")
+            .wr(1, "x")     # 2: e1 of the false race
+            .rd(3, "x")
+            .acq(2, "m")
+            .wr(3, "y")
+            .wr(2, "y")
+            .wr(2, "x")     # 7: e2 of the false race
+            .rel(2, "m")
+            .build())
+
+
+def figure4b() -> Trace:
+    """A Figure 4(b)-equivalent execution (reconstruction): a false
+    DC-race — between ``wr(x)`` (event 0) and ``rd(x)`` (event 4) —
+    refuted by a cycle arising purely from conflicting-access
+    constraints (no locks at all): the reordered trace would need
+    event 4's prefix both before and after event 0."""
+    return (TraceBuilder()
+            .wr(2, "x")     # 0: e1 of the false race
+            .rd(1, "x")
+            .rd(1, "y")
+            .wr(3, "y")
+            .rd(3, "x")     # 4: e2 of the false race
+            .build())
+
+
+def appendix_c_greedy() -> Trace:
+    """An Appendix C-equivalent execution (reconstruction): witness
+    construction for the race between ``rd(x)`` (event 6) and ``wr(x)``
+    (event 7) succeeds under the paper's latest-in-trace-order greedy
+    policy but fails (*don't know*) under the ``earliest`` policy."""
+    return (TraceBuilder()
+            .acq(1, "m")
+            .wr(1, "p")
+            .wr(2, "p")
+            .rel(1, "m")
+            .acq(2, "m")
+            .wr(2, "x")     # 5: e1 of the policy-sensitive race
+            .rd(3, "x")     # 6: e2
+            .wr(1, "x")
+            .rel(2, "m")
+            .build())
+
+
+def appendix_c_incomplete() -> Trace:
+    """An Appendix C-equivalent execution (reconstruction): the greedy
+    latest-in-trace-order construction answers *don't know* for the race
+    between ``rd(x)`` (event 10) and ``wr(x)`` (event 11), although the
+    race is real (the exhaustive oracle finds a witness; the
+    ``earliest`` policy also finds one) — the paper's example that
+    CONSTRUCTREORDEREDTRACE "fails by always choosing the latest event,
+    yet a correctly reordered trace is feasible" (Section 5.3)."""
+    return (TraceBuilder()
+            .acq(5, "m")
+            .wr(5, "x")
+            .rd(4, "x")
+            .rel(5, "m")
+            .acq(4, "m")
+            .rd(4, "y")
+            .rel(4, "m")
+            .acq(1, "m")
+            .wr(3, "y")
+            .rd(1, "x")
+            .rd(3, "x")     # 10: e1 of the policy-sensitive race
+            .wr(2, "x")     # 11: e2
+            .rel(1, "m")
+            .build())
+
+
+def wcp_deadlock() -> Trace:
+    """A WCP-race that is a predictable *deadlock*, not a predictable
+    race (hand-crafted; Section 5.3's deadlock discussion).
+
+    Each thread nests the locks in opposite orders, and each racy access
+    happens inside the outer critical section after the inner one closed
+    — so the accesses share no lock (a WCP- and DC-race), yet making
+    them consecutive requires each thread's closed inner section to fit
+    inside the other's still-open outer section: the crossed-lock-order
+    deadlock. VindicateRace refutes the race through a constraint cycle
+    built purely from lock-semantics constraints (no earlier races
+    involved), while the oracle confirms ``has_predictable_deadlock()``
+    — exhibiting WCP's soundness caveat (a WCP-race implies a
+    predictable race *or deadlock*) and the paper's note that
+    VINDICATERACE "will not report predictable deadlocks"."""
+    return (TraceBuilder()
+            .acq(1, "m")
+            .acq(1, "n")
+            .rel(1, "n")
+            .wr(1, "x")     # 3: e1 — T1 holds only m here
+            .rel(1, "m")
+            .acq(2, "n")
+            .acq(2, "m")
+            .rel(2, "m")
+            .rd(2, "x")     # 8: e2 — T2 holds only n here
+            .rel(2, "n")
+            .build())
+
+
+#: All litmus traces by name (used by tests, examples, and the CLI).
+ALL = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "retry_case": retry_case,
+    "figure4a": figure4a,
+    "figure4b": figure4b,
+    "appendix_c_greedy": appendix_c_greedy,
+    "appendix_c_incomplete": appendix_c_incomplete,
+    "wcp_deadlock": wcp_deadlock,
+}

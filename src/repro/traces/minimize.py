@@ -1,0 +1,106 @@
+"""Greedy delta-debugging minimiser for execution traces.
+
+Given a trace and a predicate (e.g. "the Vindicator refutes a DC-race on
+this trace with a constraint cycle"), the minimiser removes events while
+the predicate keeps holding, yielding small witness executions. It was
+used to distil this library's litmus reconstructions of the paper's
+Figures 3–4 and Appendix C examples from randomly generated traces, and
+is exported because shrinking a counterexample trace is broadly useful
+when debugging a detector.
+
+Removal keeps traces structurally valid: deleting an acquire also
+deletes everything the critical section would orphan (its release),
+deleting a fork deletes the forked thread's events and its join, and so
+on — implemented simply by *closure*: a candidate removal set is grown
+until re-validation succeeds, and the predicate is consulted on the
+closed result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.events import Event, EventKind
+from repro.core.exceptions import MalformedTraceError
+from repro.core.trace import Trace
+
+
+def _try_build(events: Sequence[Event]) -> Optional[Trace]:
+    try:
+        return Trace.from_events(events)
+    except MalformedTraceError:
+        return None
+
+
+def _removal_closure(events: List[Event], index: int) -> Optional[List[Event]]:
+    """Remove ``events[index]`` plus whatever is needed for validity.
+
+    Returns the surviving events or None when no valid closure exists.
+    """
+    victim = events[index]
+    drop = {id(victim)}
+    if victim.kind is EventKind.ACQUIRE:
+        # Drop the matching release: first same-thread same-lock release
+        # after the acquire.
+        depth = 0
+        for e in events[index + 1:]:
+            if e.tid != victim.tid or e.target != victim.target:
+                continue
+            if e.kind is EventKind.ACQUIRE:
+                depth += 1
+            elif e.kind is EventKind.RELEASE:
+                if depth == 0:
+                    drop.add(id(e))
+                    break
+                depth -= 1
+    elif victim.kind is EventKind.RELEASE:
+        # Drop the matching acquire.
+        depth = 0
+        for e in reversed(events[:index]):
+            if e.tid != victim.tid or e.target != victim.target:
+                continue
+            if e.kind is EventKind.RELEASE:
+                depth += 1
+            elif e.kind is EventKind.ACQUIRE:
+                if depth == 0:
+                    drop.add(id(e))
+                    break
+                depth -= 1
+    elif victim.kind is EventKind.FORK:
+        drop.update(id(e) for e in events if e.tid == victim.target)
+        drop.update(id(e) for e in events
+                    if e.kind is EventKind.JOIN and e.target == victim.target)
+    elif victim.kind is EventKind.BEGIN or victim.kind is EventKind.END:
+        pass
+    survivors = [e for e in events if id(e) not in drop]
+    if _try_build(survivors) is None:
+        return None
+    return survivors
+
+
+def minimize_trace(trace: Trace, predicate: Callable[[Trace], bool],
+                   max_passes: int = 10) -> Trace:
+    """Shrink ``trace`` while ``predicate`` holds.
+
+    The predicate must hold for the input trace. Runs repeated
+    single-event-removal passes (with validity closure) until a fixpoint
+    or ``max_passes``. Deterministic: removal is attempted left to right.
+    """
+    if not predicate(trace):
+        raise ValueError("predicate does not hold for the input trace")
+    events = list(trace.events)
+    for _ in range(max_passes):
+        shrunk = False
+        i = 0
+        while i < len(events):
+            survivors = _removal_closure(events, i)
+            if survivors is not None and len(survivors) < len(events):
+                candidate = Trace.from_events(survivors)
+                if predicate(candidate):
+                    events = list(candidate.events)
+                    shrunk = True
+                    continue  # retry same index (new event there now)
+            i += 1
+        if not shrunk:
+            break
+    return Trace.from_events(events)

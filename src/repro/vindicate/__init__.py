@@ -1,0 +1,34 @@
+"""VindicateRace: constraint discovery, witness construction, checking."""
+
+from repro.vindicate.add_constraints import ConstraintResult, add_constraints
+from repro.vindicate.construct import (
+    POLICIES,
+    ConstructionStats,
+    construct_reordered_trace,
+)
+from repro.vindicate.verify import check_correct_reordering, check_witness
+from repro.vindicate.oracle import OracleBudgetExceededError, PredictabilityOracle
+from repro.vindicate.vindicator import (
+    Verdict,
+    Vindication,
+    Vindicator,
+    VindicatorReport,
+    vindicate_race,
+)
+
+__all__ = [
+    "POLICIES",
+    "ConstraintResult",
+    "ConstructionStats",
+    "OracleBudgetExceededError",
+    "PredictabilityOracle",
+    "Verdict",
+    "Vindication",
+    "Vindicator",
+    "VindicatorReport",
+    "add_constraints",
+    "check_correct_reordering",
+    "check_witness",
+    "construct_reordered_trace",
+    "vindicate_race",
+]

@@ -1,0 +1,265 @@
+"""Brute-force predictable-race oracle.
+
+Exhaustively explores every correct reordering of a (small) trace to
+decide, with certainty, which conflicting pairs are predictable races
+(Definition 2.2). The search space is exponential, so the oracle is for
+testing only — it is the ground truth behind the library's completeness
+and soundness property tests:
+
+* DC completeness (Theorem 1): every oracle-predictable pair must be
+  DC-unordered, and every trace with a predictable race must have a
+  DC-race;
+* Vindicator soundness: VindicateRace must never report a race on a
+  trace pair the oracle rejects.
+
+The search enumerates reachable *schedules*: states are per-thread
+positions; an event is schedulable when its program-order, conflicting-
+access, and hard (fork/join/volatile) predecessors are all scheduled and
+lock semantics permit it. Two conflicting events form a predictable race
+iff some reachable state schedules them back to back (the reordered
+trace can simply stop there).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.events import Event, EventKind, Target, Tid, conflicts
+from repro.core.exceptions import ReproError
+from repro.core.trace import Trace
+
+
+class OracleBudgetExceededError(ReproError):
+    """The exhaustive search exceeded its state budget."""
+
+
+class PredictabilityOracle:
+    """Exhaustive predictable-race search over one trace.
+
+    Args:
+        trace: The observed trace (keep it small; the state space is the
+            product of per-thread lengths).
+        max_states: Abort with :class:`OracleBudgetExceededError` when
+            more states than this are explored.
+    """
+
+    def __init__(self, trace: Trace, max_states: int = 500_000):
+        self.trace = trace
+        self.max_states = max_states
+        self._threads: List[Tid] = trace.threads
+        self._thread_index: Dict[Tid, int] = {
+            t: i for i, t in enumerate(self._threads)
+        }
+        self._thread_events: List[List[Event]] = [
+            trace.events_of(t) for t in self._threads
+        ]
+        self._event_pos: Dict[int, Tuple[int, int]] = {}
+        for ti, events in enumerate(self._thread_events):
+            for pi, e in enumerate(events):
+                self._event_pos[e.eid] = (ti, pi)
+        self._cross_preds = self._compute_cross_preds()
+        self._held_after = self._compute_held_after()
+        self._pairs: Optional[Set[Tuple[int, int]]] = None
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+    def _compute_cross_preds(self) -> Dict[int, List[int]]:
+        """For each event, the non-PO predecessors that any correct
+        reordering must schedule first: earlier conflicting accesses,
+        earlier conflicting volatile accesses, the thread's fork, and —
+        for a join — every event of the joined thread."""
+        preds: Dict[int, List[int]] = {e.eid: [] for e in self.trace}
+        by_var: Dict[Target, List[Event]] = {}
+        by_vol: Dict[Target, List[Event]] = {}
+        fork_of: Dict[Tid, int] = {}
+        for e in self.trace:
+            if e.is_access:
+                for prior in by_var.get(e.target, ()):
+                    if conflicts(prior, e):
+                        preds[e.eid].append(prior.eid)
+                by_var.setdefault(e.target, []).append(e)
+            elif e.kind.is_volatile:
+                for prior in by_vol.get(e.target, ()):
+                    if (prior.kind is EventKind.VOLATILE_WRITE
+                            or e.kind is EventKind.VOLATILE_WRITE):
+                        if prior.tid != e.tid:
+                            preds[e.eid].append(prior.eid)
+                by_vol.setdefault(e.target, []).append(e)
+            elif e.kind is EventKind.FORK:
+                fork_of[e.target] = e.eid
+            elif e.kind is EventKind.JOIN:
+                preds[e.eid].extend(
+                    ce.eid for ce in self.trace.events_of(e.target))
+        # A fork edge targets the child's first event; later child events
+        # inherit it through program order.
+        for tid, fork_eid in fork_of.items():
+            events = self.trace.events_of(tid)
+            if events:
+                preds[events[0].eid].append(fork_eid)
+        return preds
+
+    def _compute_held_after(self) -> List[List[FrozenSet[Target]]]:
+        """Per thread, per position p: locks held after its first p events."""
+        tables: List[List[FrozenSet[Target]]] = []
+        for events in self._thread_events:
+            held: Set[Target] = set()
+            table = [frozenset()]
+            for e in events:
+                if e.kind is EventKind.ACQUIRE:
+                    held.add(e.target)
+                elif e.kind is EventKind.RELEASE:
+                    held.discard(e.target)
+                table.append(frozenset(held))
+            tables.append(table)
+        return tables
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _scheduled(self, positions: Tuple[int, ...], eid: int) -> bool:
+        ti, pi = self._event_pos[eid]
+        return positions[ti] > pi
+
+    def _locks_held(self, positions: Tuple[int, ...],
+                    exclude_thread: int) -> Set[Target]:
+        held: Set[Target] = set()
+        for ti, pos in enumerate(positions):
+            if ti != exclude_thread:
+                held.update(self._held_after[ti][pos])
+        return held
+
+    def _enabled(self, positions: Tuple[int, ...], ti: int) -> Optional[Event]:
+        """The next event of thread ``ti`` if it is schedulable, else None."""
+        events = self._thread_events[ti]
+        pos = positions[ti]
+        if pos >= len(events):
+            return None
+        e = events[pos]
+        for pred in self._cross_preds[e.eid]:
+            if not self._scheduled(positions, pred):
+                return None
+        if e.kind is EventKind.ACQUIRE:
+            if e.target in self._locks_held(positions, exclude_thread=ti):
+                return None
+        return e
+
+    def predictable_pairs(self) -> Set[Tuple[int, int]]:
+        """All pairs ``(eid1, eid2)`` of conflicting events that are
+        consecutive in some correct reordering, with ``eid1 <_tr eid2``."""
+        if self._pairs is not None:
+            return self._pairs
+        n_threads = len(self._threads)
+        start = tuple(0 for _ in range(n_threads))
+        visited: Set[Tuple[int, ...]] = {start}
+        stack = [start]
+        pairs: Set[Tuple[int, int]] = set()
+        while stack:
+            if len(visited) > self.max_states:
+                raise OracleBudgetExceededError(
+                    f"exceeded {self.max_states} states on "
+                    f"{len(self.trace)}-event trace")
+            positions = stack.pop()
+            enabled = [self._enabled(positions, ti) for ti in range(n_threads)]
+            # Record conflicting pairs that can run back to back here.
+            for e1 in enabled:
+                if e1 is None or not e1.is_access:
+                    continue
+                t1 = self._thread_index[e1.tid]
+                after_e1 = tuple(
+                    p + 1 if ti == t1 else p
+                    for ti, p in enumerate(positions))
+                for ti2 in range(n_threads):
+                    if ti2 == t1:
+                        continue
+                    e2 = self._enabled(after_e1, ti2)
+                    if e2 is not None and e2.is_access and conflicts(e1, e2):
+                        pairs.add((min(e1.eid, e2.eid), max(e1.eid, e2.eid)))
+            for ti, e in enumerate(enabled):
+                if e is None:
+                    continue
+                succ = tuple(
+                    p + 1 if i == ti else p for i, p in enumerate(positions))
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append(succ)
+        self._pairs = pairs
+        return pairs
+
+    def is_predictable(self, first: Event, second: Event) -> bool:
+        """Whether the conflicting pair is a predictable race."""
+        lo, hi = sorted((first.eid, second.eid))
+        return (lo, hi) in self.predictable_pairs()
+
+    def has_predictable_race(self) -> bool:
+        """Whether the trace has any predictable race."""
+        return bool(self.predictable_pairs())
+
+    # ------------------------------------------------------------------
+    # Predictable deadlocks (the WCP soundness caveat)
+    # ------------------------------------------------------------------
+    def has_predictable_deadlock(self) -> bool:
+        """Whether some correct reordering reaches a lock deadlock.
+
+        A state deadlocks when a cycle of threads each waits to acquire a
+        lock held by the next (their next events are acquires of locks
+        held within the cycle). WCP's soundness theorem (Kini et al.,
+        used by the paper in Section 5.3's discussion) promises that a
+        WCP-race implies a predictable race *or* a predictable deadlock;
+        the property tests check exactly that statement against this
+        method.
+        """
+        n_threads = len(self._threads)
+        start = tuple(0 for _ in range(n_threads))
+        visited: Set[Tuple[int, ...]] = {start}
+        stack = [start]
+        while stack:
+            if len(visited) > self.max_states:
+                raise OracleBudgetExceededError(
+                    f"exceeded {self.max_states} states on "
+                    f"{len(self.trace)}-event trace")
+            positions = stack.pop()
+            if self._deadlocked(positions):
+                return True
+            for ti in range(n_threads):
+                if self._enabled(positions, ti) is None:
+                    continue
+                succ = tuple(
+                    p + 1 if i == ti else p for i, p in enumerate(positions))
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append(succ)
+        return False
+
+    def _deadlocked(self, positions: Tuple[int, ...]) -> bool:
+        """Is there a cyclic lock wait among threads at this state?
+
+        Only *lock*-blocked threads participate: a thread whose next
+        event is an acquire of a currently held lock. (Threads blocked on
+        conflicting-access predecessors are waiting on schedulable work,
+        not on a resource cycle.)
+        """
+        holder: Dict[Target, int] = {}
+        for ti, pos in enumerate(positions):
+            for lock in self._held_after[ti][pos]:
+                holder[lock] = ti
+        waits: Dict[int, int] = {}
+        for ti, pos in enumerate(positions):
+            events = self._thread_events[ti]
+            if pos >= len(events):
+                continue
+            e = events[pos]
+            if e.kind is EventKind.ACQUIRE and e.target in holder:
+                if all(self._scheduled(positions, p)
+                       for p in self._cross_preds[e.eid]):
+                    waits[ti] = holder[e.target]
+        # Cycle detection over the waits-for edges.
+        for origin in waits:
+            seen = set()
+            cur = origin
+            while cur in waits and cur not in seen:
+                seen.add(cur)
+                cur = waits[cur]
+                if cur == origin:
+                    return True
+        return False

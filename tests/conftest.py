@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import execute
+from repro.runtime.workloads import WORKLOADS
+from repro.traces.litmus import ALL as LITMUS
+
+
+@pytest.fixture(params=sorted(LITMUS))
+def litmus_name(request):
+    """Parameterised over every litmus trace name."""
+    return request.param
+
+
+@pytest.fixture
+def litmus_trace(litmus_name):
+    return LITMUS[litmus_name]()
+
+
+@pytest.fixture(scope="session", params=sorted(WORKLOADS))
+def workload_name(request):
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def workload_trace(workload_name):
+    """A small execution of each workload (session-cached)."""
+    return execute(WORKLOADS[workload_name](scale=0.4), seed=7)

@@ -1,0 +1,102 @@
+"""Tests for ADDCONSTRAINTS (Algorithm 1, lines 11–23)."""
+
+from repro.analysis.dc import DCDetector
+from repro.vindicate.add_constraints import add_constraints
+from repro.traces.litmus import figure2, figure3, figure4a, figure4b
+
+
+def graph_and_race(trace, transitive_force=True, race_index=-1):
+    det = DCDetector()
+    det.transitive_force = transitive_force
+    report = det.analyze(trace)
+    return det.graph, report.races[race_index]
+
+
+class TestConsecutiveEventConstraints:
+    def test_figure2_adds_exactly_one_edge(self):
+        """The paper's Figure 5(a) walk-through: only one consecutive-event
+        edge, from rd(x)'s predecessor rel(m) to wr(x), and no LS edges."""
+        trace = figure2()
+        graph, race = graph_and_race(trace)
+        before = graph.edge_count
+        result = add_constraints(graph, trace, race.first, race.second)
+        assert result.consecutive_edges == 1
+        assert result.ls_edges == 0
+        assert not result.refuted
+        assert graph.has_edge(10, 0)  # rel(m)T3 -> wr(x)T1
+        for src, dst in reversed(result.added_edges):
+            graph.remove_edge(src, dst)
+        assert graph.edge_count == before
+
+    def test_edges_recorded_for_removal(self):
+        trace = figure2()
+        graph, race = graph_and_race(trace)
+        result = add_constraints(graph, trace, race.first, race.second)
+        assert len(result.added_edges) == result.consecutive_edges + result.ls_edges
+        for edge in result.added_edges:
+            assert graph.has_edge(*edge)
+
+
+class TestLSConstraints:
+    def test_figure3_adds_ls_constraint(self):
+        trace = figure3()
+        graph, race = graph_and_race(trace)  # the DC-only race (3, 8)
+        result = add_constraints(graph, trace, race.first, race.second)
+        assert not result.refuted
+        assert result.ls_edges >= 1
+        # The LS edge fully orders the critical sections on l: from
+        # rel(l)T2 (event 2) to acq(l)T3 (event 6).
+        assert graph.has_edge(2, 6)
+        for src, dst in reversed(result.added_edges):
+            graph.remove_edge(src, dst)
+
+
+class TestCycleDetection:
+    def test_figure4a_cycle_refutes(self):
+        trace = figure4a()
+        graph, race = graph_and_race(trace, transitive_force=False)
+        assert (race.first.eid, race.second.eid) == (2, 7)
+        result = add_constraints(graph, trace, race.first, race.second)
+        assert result.refuted
+        assert result.cycle
+        for src, dst in reversed(result.added_edges):
+            graph.remove_edge(src, dst)
+
+    def test_figure4b_cycle_refutes_without_locks(self):
+        trace = figure4b()
+        graph, race = graph_and_race(trace, transitive_force=False)
+        assert (race.first.eid, race.second.eid) == (0, 4)
+        result = add_constraints(graph, trace, race.first, race.second)
+        assert result.refuted
+        # No lock-semantics constraints involved: the cycle comes from
+        # conflicting-access (forced-order) edges alone.
+        assert result.ls_edges == 0
+
+    def test_cycle_nodes_reach_the_race(self):
+        trace = figure4b()
+        graph, race = graph_and_race(trace, transitive_force=False)
+        result = add_constraints(graph, trace, race.first, race.second)
+        assert result.cycle is not None
+        targets = {race.first.eid, race.second.eid}
+        reach = graph.ancestors(targets, include_roots=True)
+        assert any(node in reach for node in result.cycle)
+        for src, dst in reversed(result.added_edges):
+            graph.remove_edge(src, dst)
+
+
+class TestConvergence:
+    def test_rounds_reported(self):
+        trace = figure3()
+        graph, race = graph_and_race(trace)
+        result = add_constraints(graph, trace, race.first, race.second)
+        assert result.rounds >= 1
+        for src, dst in reversed(result.added_edges):
+            graph.remove_edge(src, dst)
+
+    def test_no_duplicate_edges_added(self):
+        trace = figure3()
+        graph, race = graph_and_race(trace)
+        result = add_constraints(graph, trace, race.first, race.second)
+        assert len(set(result.added_edges)) == len(result.added_edges)
+        for src, dst in reversed(result.added_edges):
+            graph.remove_edge(src, dst)

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.traces.io import dump_trace
+from repro.traces.litmus import figure1, figure2
+
+
+class TestLitmusCommand:
+    def test_single_litmus(self, capsys):
+        assert main(["litmus", "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "figure2" in out
+        assert "DC: 1 static races" in out
+        assert "predictable race" in out
+
+    def test_all_litmus(self, capsys):
+        assert main(["litmus"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "figure4b" in out
+
+    def test_unknown_litmus(self, capsys):
+        assert main(["litmus", "nope"]) == 2
+        assert "unknown litmus" in capsys.readouterr().err
+
+    def test_witness_flag(self, capsys):
+        assert main(["litmus", "figure2", "--witness"]) == 0
+        out = capsys.readouterr().out
+        assert "witness (correctly reordered trace)" in out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_file(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        dump_trace(figure1(), path)
+        assert main(["analyze", str(path), "--vindicate-all"]) == 0
+        out = capsys.readouterr().out
+        assert "WCP: 1 static races" in out
+        assert "vindication:" in out
+
+    def test_analyze_reports_distances(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        dump_trace(figure2(), path)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "DC-only static races" in out
+
+    def test_policy_flag(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        dump_trace(figure2(), path)
+        assert main(["analyze", str(path), "--policy", "earliest"]) == 0
+
+
+class TestWorkloadCommand:
+    def test_workload_runs(self, capsys):
+        assert main(["workload", "luindex", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "static races" in out
+
+    def test_workload_fast_path(self, capsys):
+        assert main(["workload", "luindex", "--scale", "0.2",
+                     "--fast-path"]) == 0
+        assert "fast path removed" in capsys.readouterr().out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

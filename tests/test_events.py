@@ -1,0 +1,98 @@
+"""Unit tests for the event model (repro.core.events)."""
+
+import pytest
+
+from repro.core.events import Event, EventKind, conflicts
+
+
+class TestEventKind:
+    def test_access_predicates(self):
+        assert EventKind.READ.is_access
+        assert EventKind.WRITE.is_access
+        assert not EventKind.ACQUIRE.is_access
+        assert not EventKind.VOLATILE_WRITE.is_access
+
+    def test_read_write_predicates(self):
+        assert EventKind.READ.is_read and not EventKind.READ.is_write
+        assert EventKind.WRITE.is_write and not EventKind.WRITE.is_read
+
+    def test_lock_ops(self):
+        assert EventKind.ACQUIRE.is_lock_op
+        assert EventKind.RELEASE.is_lock_op
+        assert not EventKind.READ.is_lock_op
+
+    def test_volatile_predicates(self):
+        assert EventKind.VOLATILE_READ.is_volatile
+        assert EventKind.VOLATILE_WRITE.is_volatile
+        assert not EventKind.WRITE.is_volatile
+
+    def test_thread_ops(self):
+        for kind in (EventKind.FORK, EventKind.JOIN, EventKind.BEGIN,
+                     EventKind.END):
+            assert kind.is_thread_op
+        assert not EventKind.ACQUIRE.is_thread_op
+
+
+class TestEvent:
+    def test_str_with_target(self):
+        e = Event(3, 1, EventKind.WRITE, "x")
+        assert str(e) == "wr(x)@T1#3"
+
+    def test_str_without_target(self):
+        e = Event(0, 2, EventKind.BEGIN)
+        assert str(e) == "begin()@T2#0"
+
+    def test_event_predicates(self):
+        wr = Event(0, 1, EventKind.WRITE, "x")
+        rd = Event(1, 1, EventKind.READ, "x")
+        acq = Event(2, 1, EventKind.ACQUIRE, "m")
+        rel = Event(3, 1, EventKind.RELEASE, "m")
+        assert wr.is_write and wr.is_access and not wr.is_read
+        assert rd.is_read and rd.is_access
+        assert acq.is_acquire and not acq.is_release
+        assert rel.is_release and not rel.is_acquire
+
+    def test_loc_not_compared(self):
+        a = Event(0, 1, EventKind.WRITE, "x", loc="A:1")
+        b = Event(0, 1, EventKind.WRITE, "x", loc="B:2")
+        assert a == b
+
+    def test_frozen(self):
+        e = Event(0, 1, EventKind.WRITE, "x")
+        with pytest.raises(AttributeError):
+            e.tid = 2  # type: ignore[misc]
+
+
+class TestConflicts:
+    def _e(self, eid, tid, kind, target="x"):
+        return Event(eid, tid, kind, target)
+
+    def test_write_write_conflicts(self):
+        assert conflicts(self._e(0, 1, EventKind.WRITE),
+                         self._e(1, 2, EventKind.WRITE))
+
+    def test_write_read_conflicts_both_orders(self):
+        w = self._e(0, 1, EventKind.WRITE)
+        r = self._e(1, 2, EventKind.READ)
+        assert conflicts(w, r)
+        assert conflicts(r, w)
+
+    def test_read_read_does_not_conflict(self):
+        assert not conflicts(self._e(0, 1, EventKind.READ),
+                             self._e(1, 2, EventKind.READ))
+
+    def test_same_thread_does_not_conflict(self):
+        assert not conflicts(self._e(0, 1, EventKind.WRITE),
+                             self._e(1, 1, EventKind.WRITE))
+
+    def test_different_variable_does_not_conflict(self):
+        assert not conflicts(self._e(0, 1, EventKind.WRITE, "x"),
+                             self._e(1, 2, EventKind.WRITE, "y"))
+
+    def test_volatiles_do_not_conflict(self):
+        assert not conflicts(self._e(0, 1, EventKind.VOLATILE_WRITE),
+                             self._e(1, 2, EventKind.VOLATILE_READ))
+
+    def test_non_access_does_not_conflict(self):
+        assert not conflicts(self._e(0, 1, EventKind.ACQUIRE, "m"),
+                             self._e(1, 2, EventKind.WRITE, "m"))

@@ -1,0 +1,40 @@
+"""The example scripts must run cleanly (they are living documentation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "predictable race" in result.stdout
+        assert "witness" in result.stdout
+
+    def test_broken_cache_finds_dc_only_race(self):
+        result = run_example("broken_cache.py", "5")
+        assert result.returncode == 0, result.stderr
+        assert "DC-only race(s)" in result.stdout
+        assert "Cache.getNew():93" in result.stdout
+
+    def test_offline_analysis(self):
+        result = run_example("offline_analysis.py")
+        assert result.returncode == 0, result.stderr
+        assert "WCP: 1 static races" in result.stdout
+
+    @pytest.mark.parametrize("workload", ["luindex", "h2"])
+    def test_coverage_study(self, workload):
+        result = run_example("coverage_study.py", workload, "2")
+        assert result.returncode == 0, result.stderr
+        assert "statically distinct races" in result.stdout

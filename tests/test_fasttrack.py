@@ -1,0 +1,86 @@
+"""Tests for the FastTrack (epoch-optimised HB) detector."""
+
+import pytest
+
+from repro.core.trace import TraceBuilder
+from repro.analysis.fasttrack import FastTrackDetector
+from repro.analysis.hb import HBDetector
+from repro.traces.gen import GeneratorConfig, random_trace
+
+
+def racy_accesses(detector, trace):
+    """The set of access events at which the detector reported a race."""
+    report = detector.analyze(trace)
+    return {r.second.eid for r in report.races}
+
+
+class TestBasics:
+    def test_write_write_race(self):
+        trace = TraceBuilder().wr(1, "x").wr(2, "x").build()
+        assert racy_accesses(FastTrackDetector(), trace) == {1}
+
+    def test_write_read_race(self):
+        trace = TraceBuilder().wr(1, "x").rd(2, "x").build()
+        assert racy_accesses(FastTrackDetector(), trace) == {1}
+
+    def test_read_share_then_write_race(self):
+        # Two concurrent reads inflate the epoch into a read map; the
+        # unordered write then races.
+        trace = (TraceBuilder()
+                 .rd(1, "x").rd(2, "x").wr(3, "x").build())
+        det = FastTrackDetector()
+        assert racy_accesses(det, trace) == {2}
+        assert det.report.counters.get("ft_read_inflations") == 1
+
+    def test_ordered_reads_keep_epoch(self):
+        trace = (TraceBuilder()
+                 .rd(1, "x").acq(1, "m").rel(1, "m")
+                 .acq(2, "m").rel(2, "m").rd(2, "x")
+                 .build())
+        det = FastTrackDetector()
+        det.analyze(trace)
+        assert det.report.counters.get("ft_read_inflations", 0) == 0
+
+    def test_lock_protected_no_race(self):
+        trace = (TraceBuilder()
+                 .acq(1, "m").wr(1, "x").rel(1, "m")
+                 .acq(2, "m").wr(2, "x").rd(2, "x").rel(2, "m")
+                 .build())
+        assert racy_accesses(FastTrackDetector(), trace) == set()
+
+    def test_read_then_unordered_write_races(self):
+        trace = TraceBuilder().rd(1, "x").wr(2, "x").build()
+        assert racy_accesses(FastTrackDetector(), trace) == {1}
+
+
+class TestAgreementWithHB:
+    """FastTrack must flag a first race per variable exactly when the
+    full-vector-clock HB detector does."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_first_race_of_trace_agrees(self, seed):
+        """Until the first race, no forcing has polluted either detector's
+        state, so the first reported race must be identical (FastTrack's
+        precision guarantee). After a race the detectors may diverge:
+        epochs cannot represent the per-thread history that forced
+        ordering absorbs."""
+        cfg = GeneratorConfig(threads=3, events=30, locks=2, variables=3)
+        trace = random_trace(seed, cfg)
+        hb = HBDetector()
+        hb.transitive_force = False
+        hb_races = hb.analyze(trace).races
+        ft_races = FastTrackDetector().analyze(trace).races
+        first_hb = (hb_races[0].first.eid, hb_races[0].second.eid) if hb_races else None
+        first_ft = (ft_races[0].first.eid, ft_races[0].second.eid) if ft_races else None
+        assert first_hb == first_ft
+
+    @pytest.mark.parametrize("seed", range(40, 60))
+    def test_race_existence_agrees(self, seed):
+        cfg = GeneratorConfig(threads=4, events=40, locks=2, variables=2,
+                              use_fork_join=True)
+        trace = random_trace(seed, cfg)
+        hb_detector = HBDetector()
+        hb_detector.transitive_force = False
+        hb = hb_detector.analyze(trace)
+        ft = FastTrackDetector().analyze(trace)
+        assert bool(hb.races) == bool(ft.races)

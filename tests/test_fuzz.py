@@ -1,0 +1,57 @@
+"""Scheduler fuzzing: random programs must always execute cleanly."""
+
+import pytest
+
+from repro.runtime import execute
+from repro.runtime.fuzz import ProgramConfig, random_program
+from repro.vindicate.vindicator import Verdict, Vindicator
+
+CONFIGS = {
+    "default": ProgramConfig(),
+    "forky": ProgramConfig(top_level_threads=2, fork_probability=0.4,
+                           max_forks=4),
+    "locky": ProgramConfig(locks=3, max_nesting=3, volatiles=0),
+    "lean": ProgramConfig(top_level_threads=4, ops_per_thread=6,
+                          variables=1, locks=1),
+}
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("program_seed", range(8))
+class TestFuzz:
+    def test_executes_to_valid_trace(self, config_name, program_seed):
+        program = random_program(program_seed, CONFIGS[config_name])
+        for schedule_seed in range(3):
+            trace = execute(program, seed=schedule_seed)
+            # Trace construction validates structure; also sanity checks:
+            assert len(trace) > 0
+            assert len(trace.threads) >= 2
+
+    def test_reproducible_across_reexecution(self, config_name, program_seed):
+        program = random_program(program_seed, CONFIGS[config_name])
+        first = execute(program, seed=5)
+        second = execute(program, seed=5)
+        assert [str(e) for e in first] == [str(e) for e in second]
+
+    def test_full_pipeline_never_crashes(self, config_name, program_seed):
+        program = random_program(program_seed, CONFIGS[config_name])
+        trace = execute(program, seed=1)
+        report = Vindicator(vindicate_all=True).run(trace)
+        for v in report.vindications:
+            assert v.verdict in (Verdict.RACE, Verdict.NO_RACE,
+                                 Verdict.UNKNOWN)
+            if v.witness is not None:
+                from repro.vindicate.verify import check_witness
+                check_witness(trace, v.witness, v.race.first, v.race.second)
+
+
+def test_round_robin_policy_on_fuzzed_program():
+    program = random_program(3, CONFIGS["default"])
+    trace = execute(program, seed=2, policy="round_robin", quantum=4)
+    assert len(trace) > 0
+
+
+def test_program_seed_changes_program():
+    a = execute(random_program(1), seed=0)
+    b = execute(random_program(2), seed=0)
+    assert [str(e) for e in a] != [str(e) for e in b]

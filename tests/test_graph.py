@@ -1,0 +1,120 @@
+"""Unit tests for the constraint graph."""
+
+import pytest
+
+from repro.graph.constraint_graph import ConstraintGraph
+
+
+def chain(*edges):
+    g = ConstraintGraph()
+    for src, dst in edges:
+        g.add_edge(src, dst)
+    return g
+
+
+class TestMutation:
+    def test_add_edge(self):
+        g = ConstraintGraph()
+        assert g.add_edge(0, 1) is True
+        assert g.has_edge(0, 1)
+        assert g.edge_count == 1
+
+    def test_duplicate_edge_rejected(self):
+        g = chain((0, 1))
+        assert g.add_edge(0, 1) is False
+        assert g.edge_count == 1
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError):
+            ConstraintGraph().add_edge(3, 3)
+
+    def test_remove_edge(self):
+        g = chain((0, 1), (1, 2))
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert not g.reaches(0, 2)
+
+    def test_remove_missing_edge_is_noop(self):
+        g = chain((0, 1))
+        g.remove_edge(5, 6)
+        assert g.edge_count == 1
+
+    def test_num_events_grows(self):
+        g = ConstraintGraph(2)
+        g.add_edge(5, 9)
+        assert g.num_events == 10
+
+    def test_successors_predecessors(self):
+        g = chain((0, 1), (0, 2), (3, 2))
+        assert sorted(g.successors(0)) == [1, 2]
+        assert sorted(g.predecessors(2)) == [0, 3]
+        assert g.successors(99) == []
+
+    def test_copy_is_independent(self):
+        g = chain((0, 1))
+        clone = g.copy()
+        clone.add_edge(1, 2)
+        assert not g.has_edge(1, 2)
+
+
+class TestReachability:
+    def test_reaches_direct_and_transitive(self):
+        g = chain((0, 1), (1, 2))
+        assert g.reaches(0, 1)
+        assert g.reaches(0, 2)
+        assert not g.reaches(2, 0)
+
+    def test_reaches_self_only_on_cycle(self):
+        g = chain((0, 1))
+        assert not g.reaches(0, 0)
+        g.add_edge(1, 0)
+        assert g.reaches(0, 0)
+
+    def test_descendants_strict(self):
+        g = chain((0, 1), (1, 2), (3, 4))
+        assert g.descendants([0]) == {1, 2}
+        assert g.descendants([0], include_roots=True) == {0, 1, 2}
+
+    def test_ancestors_strict(self):
+        g = chain((0, 1), (1, 2))
+        assert g.ancestors([2]) == {0, 1}
+        assert g.ancestors([2], include_roots=True) == {0, 1, 2}
+
+    def test_multi_root_ancestors(self):
+        g = chain((0, 2), (1, 3))
+        assert g.ancestors([2, 3]) == {0, 1}
+
+    def test_root_on_cycle_is_its_own_ancestor(self):
+        g = chain((0, 1), (1, 0))
+        assert 0 in g.ancestors([0])
+
+
+class TestCycleDetection:
+    def test_acyclic_graph_has_no_cycle(self):
+        g = chain((0, 1), (1, 2), (0, 2))
+        assert g.find_cycle_reaching({2}) is None
+
+    def test_cycle_reaching_target_found(self):
+        g = chain((0, 1), (1, 0), (1, 2))
+        cycle = g.find_cycle_reaching({2})
+        assert cycle is not None
+        assert set(cycle) >= {0, 1}
+
+    def test_cycle_not_reaching_target_ignored(self):
+        # Cycle 3<->4 does not constrain node 2 (Algorithm 1, line 20's
+        # parenthetical: unreachable cycles are not disqualifying).
+        g = chain((0, 1), (1, 2), (3, 4), (4, 3))
+        assert g.find_cycle_reaching({2}) is None
+
+    def test_cycle_through_target_itself(self):
+        g = chain((0, 1), (1, 2), (2, 0))
+        assert g.find_cycle_reaching({2}) is not None
+
+    def test_long_cycle(self):
+        edges = [(i, i + 1) for i in range(10)] + [(10, 0), (5, 99)]
+        g = chain(*edges)
+        assert g.find_cycle_reaching({99}) is not None
+
+    def test_repr(self):
+        assert "2 edges" in repr(chain((0, 1), (1, 2)))

@@ -1,0 +1,97 @@
+"""Tests for the redundant-access fast path."""
+
+from repro.core.events import EventKind
+from repro.core.trace import TraceBuilder
+from repro.runtime.instrument import fast_path_filter
+from repro.analysis.hb import HBDetector
+from repro.analysis.reference import ReferenceAnalysis
+from repro.traces.gen import GeneratorConfig, random_trace
+
+
+def kinds(trace):
+    return [(e.tid, e.kind.value, e.target) for e in trace]
+
+
+class TestRedundancyRules:
+    def test_read_after_write_removed(self):
+        trace = TraceBuilder().wr(1, "x").rd(1, "x").build()
+        filtered, stats = fast_path_filter(trace)
+        assert kinds(filtered) == [(1, "wr", "x")]
+        assert stats.removed == 1
+
+    def test_write_after_write_removed(self):
+        trace = TraceBuilder().wr(1, "x").wr(1, "x").build()
+        filtered, _ = fast_path_filter(trace)
+        assert len(filtered) == 1
+
+    def test_read_after_read_removed(self):
+        trace = TraceBuilder().rd(1, "x").rd(1, "x").build()
+        filtered, _ = fast_path_filter(trace)
+        assert len(filtered) == 1
+
+    def test_write_after_read_kept(self):
+        trace = TraceBuilder().rd(1, "x").wr(1, "x").build()
+        filtered, _ = fast_path_filter(trace)
+        assert len(filtered) == 2
+
+    def test_sync_in_between_resets(self):
+        trace = (TraceBuilder()
+                 .wr(1, "x").acq(1, "m").rel(1, "m").rd(1, "x").build())
+        filtered, _ = fast_path_filter(trace)
+        assert len(filtered) == 4
+
+    def test_other_thread_sync_does_not_reset(self):
+        trace = (TraceBuilder()
+                 .wr(1, "x").acq(2, "m").rel(2, "m").rd(1, "x").build())
+        filtered, _ = fast_path_filter(trace)
+        assert len(filtered) == 3  # the rd(1, x) is still redundant
+
+    def test_different_variables_tracked_separately(self):
+        trace = TraceBuilder().wr(1, "x").wr(1, "y").wr(1, "x").build()
+        filtered, _ = fast_path_filter(trace)
+        assert len(filtered) == 2
+
+    def test_other_threads_accesses_kept(self):
+        trace = TraceBuilder().wr(1, "x").wr(2, "x").build()
+        filtered, _ = fast_path_filter(trace)
+        assert len(filtered) == 2
+
+    def test_volatile_counts_as_sync(self):
+        trace = TraceBuilder().wr(1, "x").vwr(1, "v").rd(1, "x").build()
+        filtered, _ = fast_path_filter(trace)
+        assert len(filtered) == 3
+
+    def test_stats(self):
+        trace = TraceBuilder().wr(1, "x").rd(1, "x").rd(1, "x").build()
+        _, stats = fast_path_filter(trace)
+        assert stats.original_events == 3
+        assert stats.filtered_events == 1
+        assert stats.removed == 2
+        assert stats.hit_rate == 2 / 3
+
+    def test_empty_trace(self):
+        trace = TraceBuilder().build()
+        filtered, stats = fast_path_filter(trace)
+        assert len(filtered) == 0
+        assert stats.hit_rate == 0.0
+
+
+class TestRacePreservation:
+    """The fast path must not change whether a trace has races."""
+
+    def test_race_survives_filtering(self):
+        trace = (TraceBuilder()
+                 .wr(1, "x").rd(1, "x").rd(2, "x").build())
+        filtered, _ = fast_path_filter(trace)
+        assert HBDetector().analyze(filtered).dynamic_count >= 1
+
+    def test_random_traces_preserve_race_existence(self):
+        cfg = GeneratorConfig(threads=3, events=30, locks=2, variables=2)
+        for seed in range(25):
+            trace = random_trace(seed, cfg)
+            filtered, _ = fast_path_filter(trace)
+            before = ReferenceAnalysis(trace)
+            after = ReferenceAnalysis(filtered)
+            for races_of in ("hb_races", "wcp_races", "dc_races"):
+                assert bool(getattr(before, races_of)()) == \
+                    bool(getattr(after, races_of)()), (seed, races_of)

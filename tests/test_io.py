@@ -1,0 +1,90 @@
+"""Tests for the text trace format."""
+
+import io
+
+import pytest
+
+from repro.core.exceptions import TraceFormatError
+from repro.traces.io import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.traces.litmus import ALL as LITMUS
+from repro.traces.gen import GeneratorConfig, random_trace
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(LITMUS))
+    def test_litmus_round_trip(self, name):
+        original = LITMUS[name]()
+        text = dumps_trace(original)
+        reloaded = loads_trace(text)
+        assert len(reloaded) == len(original)
+        for a, b in zip(original, reloaded):
+            assert a.kind == b.kind
+            assert str(a.target) == str(b.target) or (a.target is None
+                                                      and b.target is None)
+
+    def test_random_trace_round_trip_with_locs(self):
+        trace = random_trace(3, GeneratorConfig(threads=3, events=25,
+                                                volatiles=1,
+                                                use_fork_join=True))
+        reloaded = loads_trace(dumps_trace(trace))
+        assert [e.kind for e in reloaded] == [e.kind for e in trace]
+
+    def test_file_round_trip(self, tmp_path):
+        trace = LITMUS["figure1"]()
+        path = tmp_path / "trace.txt"
+        dump_trace(trace, path)
+        assert len(load_trace(path)) == len(trace)
+
+    def test_stream_round_trip(self):
+        trace = LITMUS["figure2"]()
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        assert len(load_trace(buffer)) == len(trace)
+
+    def test_locations_preserved(self):
+        text = "T1 wr x Loader.load():42\n"
+        trace = loads_trace(text)
+        assert trace[0].loc == "Loader.load():42"
+
+
+class TestFormat:
+    def test_comments_and_blanks_ignored(self):
+        text = "# a comment\n\nT1 wr x\n   \nT2 rd x\n"
+        assert len(loads_trace(text)) == 2
+
+    def test_header_written(self):
+        assert dumps_trace(LITMUS["figure1"]()).startswith("# repro trace")
+
+    def test_begin_end_have_no_target(self):
+        text = "T1 begin\nT1 wr x\nT1 end\n"
+        trace = loads_trace(text)
+        assert trace[0].target is None
+        assert trace[2].target is None
+
+
+class TestErrors:
+    def test_unknown_operation(self):
+        with pytest.raises(TraceFormatError, match="unknown operation"):
+            loads_trace("T1 frobnicate x\n")
+
+    def test_missing_target(self):
+        with pytest.raises(TraceFormatError, match="needs a target"):
+            loads_trace("T1 wr\n")
+
+    def test_short_line(self):
+        with pytest.raises(TraceFormatError, match="expected"):
+            loads_trace("T1\n")
+
+    def test_line_number_reported(self):
+        with pytest.raises(TraceFormatError, match="line 3"):
+            loads_trace("T1 wr x\nT2 rd x\nbogus\n")
+
+    def test_structural_validation(self):
+        with pytest.raises(TraceFormatError, match="invalid trace"):
+            loads_trace("T1 rel m\n")
+
+    def test_validation_can_be_skipped(self):
+        trace = loads_trace("T1 acq m\nT1 acq n\nT1 rel m\nT1 rel n\n",
+                            validate=False)
+        assert len(trace) == 4

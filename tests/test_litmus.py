@@ -1,0 +1,172 @@
+"""The litmus traces must have exactly the properties the paper (or this
+reproduction's DESIGN notes) ascribes to them — validated against the
+analyses, VindicateRace, and the brute-force oracle."""
+
+import pytest
+
+from repro.analysis.races import RaceClass
+from repro.vindicate.oracle import PredictabilityOracle
+from repro.vindicate.vindicator import Verdict, Vindicator
+from repro.traces import litmus
+
+
+def run(trace, transitive_force=True):
+    return Vindicator(vindicate_all=True,
+                      transitive_force=transitive_force).run(trace)
+
+
+class TestFigure1:
+    def test_hb_misses_wcp_finds(self):
+        report = run(litmus.figure1())
+        assert report.hb.dynamic_count == 0
+        assert report.wcp.dynamic_count == 1
+        assert report.dc.dynamic_count == 1
+
+    def test_pair_and_predictability(self):
+        trace = litmus.figure1()
+        assert PredictabilityOracle(trace).predictable_pairs() == {(0, 7)}
+        report = run(trace)
+        assert report.vindications[0].verdict is Verdict.RACE
+
+
+class TestFigure2:
+    def test_wcp_misses_dc_finds(self):
+        report = run(litmus.figure2())
+        assert report.wcp.dynamic_count == 0
+        assert report.dc.dynamic_count == 1
+        assert report.dc.races[0].race_class is RaceClass.DC_ONLY
+
+    def test_oracle_confirms(self):
+        trace = litmus.figure2()
+        assert PredictabilityOracle(trace).predictable_pairs() == {(0, 11)}
+
+    def test_vindication_needs_no_ls_constraints(self):
+        report = run(litmus.figure2())
+        v = report.vindications[0]
+        assert v.verdict is Verdict.RACE
+        assert v.consecutive_edges == 1
+        assert v.ls_constraints == 0
+
+
+class TestFigure3:
+    def test_dc_only_with_ls_constraint(self):
+        report = run(litmus.figure3())
+        dc_only = [v for v in report.vindications
+                   if v.race.race_class is RaceClass.DC_ONLY]
+        assert len(dc_only) == 1
+        v = dc_only[0]
+        assert (v.race.first.eid, v.race.second.eid) == (3, 8)
+        assert v.verdict is Verdict.RACE
+        assert v.ls_constraints >= 1
+
+    def test_oracle_confirms_both_races(self):
+        trace = litmus.figure3()
+        pairs = PredictabilityOracle(trace).predictable_pairs()
+        assert (3, 8) in pairs and (3, 4) in pairs
+
+
+class TestRetryCase:
+    def test_needs_missing_release_retry(self):
+        report = run(litmus.retry_case())
+        dc_only = [v for v in report.vindications
+                   if v.race.race_class is RaceClass.DC_ONLY]
+        assert len(dc_only) == 1
+        assert dc_only[0].verdict is Verdict.RACE
+        assert dc_only[0].attempts == 2
+
+    def test_oracle_confirms(self):
+        trace = litmus.retry_case()
+        assert PredictabilityOracle(trace).is_predictable(trace[2], trace[10])
+
+
+@pytest.mark.parametrize("factory,pair", [
+    (litmus.figure4a, (2, 7)),
+    (litmus.figure4b, (0, 4)),
+])
+class TestFalseRaces:
+    def test_refuted_and_oracle_agrees(self, factory, pair):
+        trace = factory()
+        report = run(trace, transitive_force=False)
+        refuted = [v for v in report.vindications
+                   if (v.race.first.eid, v.race.second.eid) == pair]
+        assert len(refuted) == 1
+        assert refuted[0].verdict is Verdict.NO_RACE
+        assert not PredictabilityOracle(trace).is_predictable(
+            trace[pair[0]], trace[pair[1]])
+
+    def test_suppressed_under_transitive_forcing(self, factory, pair):
+        report = run(factory())
+        pairs = [(v.race.first.eid, v.race.second.eid)
+                 for v in report.vindications]
+        assert pair not in pairs
+        # And everything that *is* reported is a true race.
+        assert all(v.verdict is Verdict.RACE for v in report.vindications)
+
+
+class TestAppendixCGreedy:
+    def test_latest_policy_succeeds(self):
+        report = run(litmus.appendix_c_greedy())
+        assert all(v.verdict is Verdict.RACE for v in report.vindications)
+
+    def test_earliest_policy_hits_dont_know(self):
+        report = Vindicator(vindicate_all=True,
+                            policy="earliest").run(litmus.appendix_c_greedy())
+        verdicts = {(v.race.first.eid, v.race.second.eid): v.verdict
+                    for v in report.vindications}
+        assert verdicts[(6, 7)] is Verdict.UNKNOWN
+
+    def test_the_race_is_nonetheless_real(self):
+        trace = litmus.appendix_c_greedy()
+        assert PredictabilityOracle(trace).is_predictable(trace[6], trace[7])
+
+
+class TestCatalogue:
+    def test_all_names_resolve(self):
+        for name, factory in litmus.ALL.items():
+            trace = factory()
+            assert len(trace) > 0, name
+
+    def test_factories_return_fresh_traces(self):
+        assert litmus.figure1() is not litmus.figure1()
+
+
+class TestWCPDeadlock:
+    """The hand-crafted WCP-race-that-is-a-deadlock execution."""
+
+    def test_wcp_flags_but_vindicator_refutes(self):
+        trace = litmus.wcp_deadlock()
+        report = run(trace)
+        assert report.hb.dynamic_count == 0
+        assert report.wcp.dynamic_count == 1
+        assert report.dc.dynamic_count == 1
+        assert report.vindications[0].verdict is Verdict.NO_RACE
+        # The refutation uses pure LS constraints (no earlier races).
+        assert report.vindications[0].ls_constraints >= 1
+
+    def test_oracle_sees_deadlock_not_race(self):
+        trace = litmus.wcp_deadlock()
+        oracle = PredictabilityOracle(trace)
+        assert not oracle.has_predictable_race()
+        assert oracle.has_predictable_deadlock()
+
+
+class TestAppendixCIncomplete:
+    """latest fails on a true race; other orders succeed (Appendix C)."""
+
+    def test_latest_is_inconclusive(self):
+        trace = litmus.appendix_c_incomplete()
+        report = run(trace)
+        verdicts = {(v.race.first.eid, v.race.second.eid): v.verdict
+                    for v in report.vindications}
+        assert verdicts[(10, 11)] is Verdict.UNKNOWN
+
+    def test_earliest_finds_the_witness(self):
+        trace = litmus.appendix_c_incomplete()
+        report = Vindicator(vindicate_all=True, policy="earliest").run(trace)
+        verdicts = {(v.race.first.eid, v.race.second.eid): v.verdict
+                    for v in report.vindications}
+        assert verdicts[(10, 11)] is Verdict.RACE
+
+    def test_oracle_confirms_race_is_real(self):
+        trace = litmus.appendix_c_incomplete()
+        assert PredictabilityOracle(trace).is_predictable(trace[10], trace[11])

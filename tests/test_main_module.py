@@ -1,0 +1,42 @@
+"""Smoke tests for packaging-level entry points and the public API."""
+
+import subprocess
+import sys
+
+import repro
+
+
+class TestPublicAPI:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.core
+        import repro.runtime
+        import repro.stats
+        import repro.traces
+        import repro.vindicate
+        for module in (repro.analysis, repro.core, repro.runtime,
+                       repro.traces, repro.vindicate):
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), (module.__name__, name)
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "litmus", "figure1"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0
+        assert "WCP: 1 static races" in result.stdout
+
+    def test_python_dash_m_repro_usage_error(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode != 0

@@ -1,0 +1,73 @@
+"""Tests for the trace minimiser."""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.core.trace import TraceBuilder
+from repro.traces.minimize import minimize_trace
+from repro.analysis.hb import HBDetector
+
+
+class TestMinimize:
+    def test_shrinks_to_racing_pair(self):
+        trace = (TraceBuilder()
+                 .wr(1, "a").rd(1, "a").wr(2, "b")
+                 .wr(1, "x").wr(2, "x")
+                 .rd(2, "b")
+                 .build())
+
+        def has_race(t):
+            return HBDetector().analyze(t).dynamic_count > 0
+
+        small = minimize_trace(trace, has_race)
+        assert len(small) == 2
+        assert {e.target for e in small} == {"x"}
+
+    def test_predicate_must_hold_initially(self):
+        trace = TraceBuilder().wr(1, "x").build()
+        with pytest.raises(ValueError):
+            minimize_trace(trace, lambda t: False)
+
+    def test_lock_pairs_removed_together(self):
+        trace = (TraceBuilder()
+                 .acq(1, "m").wr(1, "x").rel(1, "m")
+                 .wr(2, "x")
+                 .build())
+
+        def has_race(t):
+            return HBDetector().analyze(t).dynamic_count > 0
+
+        small = minimize_trace(trace, has_race)
+        # No dangling acquire or release may survive.
+        kinds = [e.kind for e in small]
+        assert kinds.count(EventKind.ACQUIRE) == kinds.count(EventKind.RELEASE)
+
+    def test_fork_removal_drops_child(self):
+        trace = (TraceBuilder()
+                 .fork(1, 2).wr(2, "y").join(1, 2)
+                 .wr(1, "x").wr(3, "x")
+                 .build())
+
+        def has_race(t):
+            return HBDetector().analyze(t).dynamic_count > 0
+
+        small = minimize_trace(trace, has_race)
+        assert all(e.tid != 2 for e in small)
+        assert all(e.kind not in (EventKind.FORK, EventKind.JOIN)
+                   for e in small)
+
+    def test_result_is_valid_trace(self):
+        trace = (TraceBuilder()
+                 .acq(1, "m").acq(1, "n").wr(1, "x").rel(1, "n").rel(1, "m")
+                 .wr(2, "x")
+                 .build())
+        small = minimize_trace(
+            trace, lambda t: HBDetector().analyze(t).dynamic_count > 0)
+        # Construction re-validates; reaching here means it is well-formed.
+        assert len(small) <= len(trace)
+
+    def test_preserves_when_nothing_removable(self):
+        trace = TraceBuilder().wr(1, "x").wr(2, "x").build()
+        small = minimize_trace(
+            trace, lambda t: HBDetector().analyze(t).dynamic_count > 0)
+        assert len(small) == 2

@@ -1,0 +1,90 @@
+"""Tests for the brute-force predictability oracle."""
+
+import pytest
+
+from repro.core.trace import TraceBuilder
+from repro.vindicate.oracle import OracleBudgetExceededError, PredictabilityOracle
+from repro.traces.litmus import figure1, figure2
+
+
+class TestBasicPredictability:
+    def test_adjacent_conflicting_events_are_predictable(self):
+        trace = TraceBuilder().wr(1, "x").rd(2, "x").build()
+        assert PredictabilityOracle(trace).predictable_pairs() == {(0, 1)}
+
+    def test_no_conflicts_no_race(self):
+        trace = TraceBuilder().wr(1, "x").rd(2, "y").build()
+        assert not PredictabilityOracle(trace).has_predictable_race()
+
+    def test_lock_protected_pair_not_predictable(self):
+        trace = (TraceBuilder()
+                 .acq(1, "m").wr(1, "x").rel(1, "m")
+                 .acq(2, "m").rd(2, "x").rel(2, "m")
+                 .build())
+        assert not PredictabilityOracle(trace).has_predictable_race()
+
+    def test_figure1_pair(self):
+        assert PredictabilityOracle(figure1()).predictable_pairs() == {(0, 7)}
+
+    def test_figure2_pair(self):
+        assert PredictabilityOracle(figure2()).predictable_pairs() == {(0, 11)}
+
+    def test_is_predictable_accepts_either_order(self):
+        trace = figure1()
+        oracle = PredictabilityOracle(trace)
+        assert oracle.is_predictable(trace[0], trace[7])
+        assert oracle.is_predictable(trace[7], trace[0])
+
+
+class TestConstraintRespect:
+    def test_ca_rule_blocks_reordering(self):
+        # rd(y) must see wr(y); wr(x) and rd(x) can never be consecutive
+        # because wr(y)/rd(y) must run in between.
+        trace = (TraceBuilder()
+                 .wr(1, "x").wr(1, "y")
+                 .rd(2, "y").rd(2, "x")
+                 .build())
+        oracle = PredictabilityOracle(trace)
+        assert (0, 3) not in oracle.predictable_pairs()
+
+    def test_fork_edge_blocks_reordering(self):
+        trace = TraceBuilder().wr(1, "x").fork(1, 2).rd(2, "x").build()
+        assert not PredictabilityOracle(trace).has_predictable_race()
+
+    def test_join_edge_blocks_reordering(self):
+        trace = TraceBuilder().wr(2, "x").join(1, 2).rd(1, "x").build()
+        assert not PredictabilityOracle(trace).has_predictable_race()
+
+    def test_volatile_edge_blocks_reordering(self):
+        trace = (TraceBuilder()
+                 .wr(1, "x").vwr(1, "v").vrd(2, "v").rd(2, "x").build())
+        assert not PredictabilityOracle(trace).has_predictable_race()
+
+    def test_sync_order_does_not_block(self):
+        # HB orders through the empty critical sections, but the oracle
+        # knows the sections commute.
+        trace = (TraceBuilder()
+                 .wr(1, "x").acq(1, "m").rel(1, "m")
+                 .acq(2, "m").rel(2, "m").rd(2, "x")
+                 .build())
+        assert PredictabilityOracle(trace).predictable_pairs() == {(0, 5)}
+
+    def test_read_write_pair_in_either_role(self):
+        trace = TraceBuilder().rd(1, "x").wr(2, "x").build()
+        assert PredictabilityOracle(trace).predictable_pairs() == {(0, 1)}
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        builder = TraceBuilder()
+        for i in range(12):
+            for t in (1, 2, 3, 4):
+                builder.wr(t, f"priv{t}")
+        with pytest.raises(OracleBudgetExceededError):
+            PredictabilityOracle(builder.build(), max_states=50).predictable_pairs()
+
+    def test_pairs_are_cached(self):
+        trace = figure1()
+        oracle = PredictabilityOracle(trace)
+        first = oracle.predictable_pairs()
+        assert oracle.predictable_pairs() is first

@@ -1,0 +1,96 @@
+"""Tests for race records, static de-duplication, and classification."""
+
+import pytest
+
+from repro.core.events import Event, EventKind
+from repro.analysis.races import (
+    DynamicRace,
+    RaceClass,
+    RaceReport,
+    classify,
+    static_races,
+)
+
+
+def make_race(eid1, eid2, loc1=None, loc2=None, relation="DC",
+              race_class=None):
+    e1 = Event(eid1, 1, EventKind.WRITE, "x", loc=loc1)
+    e2 = Event(eid2, 2, EventKind.READ, "x", loc=loc2)
+    return DynamicRace(first=e1, second=e2, relation=relation,
+                       race_class=race_class)
+
+
+class TestDynamicRace:
+    def test_events_must_be_in_trace_order(self):
+        with pytest.raises(ValueError):
+            make_race(5, 3)
+
+    def test_event_distance(self):
+        assert make_race(3, 10).event_distance == 7
+
+    def test_static_key_uses_locations(self):
+        race = make_race(0, 1, loc1="A.f():1", loc2="B.g():2")
+        assert race.static_key == frozenset({"A.f():1", "B.g():2"})
+
+    def test_static_key_falls_back_to_kind_and_variable(self):
+        race = make_race(0, 1)
+        assert race.static_key == frozenset({"wr(x)", "rd(x)"})
+
+    def test_same_location_pair_is_singleton_key(self):
+        e1 = Event(0, 1, EventKind.WRITE, "x", loc="A:1")
+        e2 = Event(1, 2, EventKind.WRITE, "x", loc="A:1")
+        race = DynamicRace(first=e1, second=e2, relation="HB")
+        assert race.static_key == frozenset({"A:1"})
+
+    def test_str_mentions_class(self):
+        race = make_race(0, 1, race_class=RaceClass.DC_ONLY)
+        assert "DC-only" in str(race)
+
+
+class TestStaticRaces:
+    def test_grouping(self):
+        races = [make_race(0, 1, "A", "B"), make_race(2, 3, "B", "A"),
+                 make_race(4, 5, "C", "D")]
+        groups = static_races(races)
+        assert len(groups) == 2
+        assert len(groups[frozenset({"A", "B"})]) == 2
+
+    def test_order_preserved(self):
+        races = [make_race(0, 1, "X", "Y"), make_race(2, 3, "A", "B")]
+        keys = list(static_races(races))
+        assert keys[0] == frozenset({"X", "Y"})
+
+
+class TestRaceReport:
+    def test_counts(self):
+        report = RaceReport(relation="DC", races=[
+            make_race(0, 1, "A", "B"), make_race(2, 3, "A", "B")])
+        assert report.dynamic_count == 2
+        assert report.static_count == 1
+
+    def test_by_class_skips_unclassified(self):
+        report = RaceReport(relation="DC", races=[
+            make_race(0, 1, race_class=RaceClass.HB),
+            make_race(2, 3),
+        ])
+        by = report.by_class()
+        assert len(by[RaceClass.HB]) == 1
+        assert RaceClass.DC_ONLY not in by
+
+    def test_str(self):
+        report = RaceReport(relation="WCP", races=[make_race(0, 1)])
+        assert str(report) == "WCP: 1 static races (1 dynamic)"
+
+
+class TestClassify:
+    def test_hb_unordered_is_hb_race(self):
+        assert classify((False, False)) is RaceClass.HB
+
+    def test_hb_ordered_wcp_unordered_is_wcp_only(self):
+        assert classify((True, False)) is RaceClass.WCP_ONLY
+
+    def test_both_ordered_is_dc_only(self):
+        assert classify((True, True)) is RaceClass.DC_ONLY
+
+    def test_str(self):
+        assert str(RaceClass.WCP_ONLY) == "WCP-only"

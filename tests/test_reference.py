@@ -1,0 +1,109 @@
+"""Tests for the exact (fixpoint) reference engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import TraceBuilder
+from repro.analysis.reference import ReferenceAnalysis
+from repro.traces.litmus import figure1, figure2
+from repro.traces.gen import GeneratorConfig, random_trace
+
+
+class TestHBMatrix:
+    def test_po_ordering(self):
+        trace = TraceBuilder().wr(1, "x").rd(1, "x").build()
+        ref = ReferenceAnalysis(trace)
+        assert ref.hb_ordered(0, 1)
+        assert not ref.hb_ordered(1, 0)
+
+    def test_sync_order(self):
+        trace = (TraceBuilder()
+                 .acq(1, "m").rel(1, "m").acq(2, "m").rel(2, "m").build())
+        ref = ReferenceAnalysis(trace)
+        assert ref.hb_ordered(1, 2)  # release before later acquire
+        assert not ref.hb_ordered(0, 1) is False  # PO holds
+
+    def test_transitivity(self):
+        trace = (TraceBuilder()
+                 .wr(1, "x").acq(1, "m").rel(1, "m")
+                 .acq(2, "m").rel(2, "m").rd(2, "x")
+                 .build())
+        assert ReferenceAnalysis(trace).hb_ordered(0, 5)
+
+    def test_strictness(self):
+        trace = TraceBuilder().wr(1, "x").build()
+        assert not ReferenceAnalysis(trace).hb_ordered(0, 0)
+
+
+class TestRelationInclusions:
+    """DC ⊆ WCP ∪ PO ⊆ HB as sets of ordered pairs (weaker relations
+    order fewer events, hence predict more races)."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_inclusion_chain(self, seed):
+        cfg = GeneratorConfig(threads=3, events=25, locks=2, variables=2,
+                              max_nesting=2)
+        trace = random_trace(seed, cfg)
+        ref = ReferenceAnalysis(trace)
+        n = len(trace)
+        po = np.zeros((n, n), dtype=bool)
+        for i, ei in enumerate(trace):
+            for j in range(i + 1, n):
+                if trace[j].tid == ei.tid:
+                    po[i, j] = True
+        wcp_po = ref.wcp | po
+        assert not (ref.dc & ~wcp_po).any(), "DC must be within WCP ∪ PO"
+        assert not (wcp_po & ~ref.hb).any(), "WCP ∪ PO must be within HB"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_race_count_monotonicity(self, seed):
+        cfg = GeneratorConfig(threads=3, events=25, locks=2, variables=2)
+        trace = random_trace(seed, cfg)
+        ref = ReferenceAnalysis(trace)
+        hb = {(r.first.eid, r.second.eid) for r in ref.hb_races()}
+        wcp = {(r.first.eid, r.second.eid) for r in ref.wcp_races()}
+        dc = {(r.first.eid, r.second.eid) for r in ref.dc_races()}
+        assert hb <= wcp <= dc
+
+
+class TestLitmusAgainstReference:
+    def test_figure1(self):
+        ref = ReferenceAnalysis(figure1())
+        assert len(ref.hb_races()) == 0
+        assert len(ref.wcp_races()) == 1
+        assert len(ref.dc_races()) == 1
+
+    def test_figure2(self):
+        ref = ReferenceAnalysis(figure2())
+        assert len(ref.hb_races()) == 0
+        assert len(ref.wcp_races()) == 0
+        races = ref.dc_races()
+        assert [(r.first.eid, r.second.eid) for r in races] == [(0, 11)]
+
+
+class TestStructure:
+    def test_open_critical_section_rule_a(self):
+        # The second section is still open at trace end; rule (a) applies
+        # because the earlier section closed before its acquire.
+        trace = (TraceBuilder()
+                 .acq(1, "m").wr(1, "x").rel(1, "m")
+                 .acq(2, "m").rd(2, "x")
+                 .build())
+        ref = ReferenceAnalysis(trace)
+        assert ref.dc_ordered(2, 4)
+        assert ref.dc_ordered(1, 4)
+
+    def test_nested_sections_membership(self):
+        trace = (TraceBuilder()
+                 .acq(1, "m").acq(1, "n").wr(1, "x").rel(1, "n").rel(1, "m")
+                 .acq(2, "n").rd(2, "x").rel(2, "n")
+                 .build())
+        ref = ReferenceAnalysis(trace)
+        # x is protected by n in both threads: rule (a) on n orders.
+        assert ref.dc_ordered(3, 6)  # rel(n)T1 before rd(x)T2
+
+    def test_wcp_race_check_uses_po(self):
+        trace = TraceBuilder().wr(1, "x").rd(1, "x").build()
+        ref = ReferenceAnalysis(trace)
+        assert ref.wcp_ordered(0, 1)  # same thread: PO
+        assert not bool(ref.wcp[0, 1])  # pure WCP does not include PO

@@ -1,0 +1,59 @@
+"""Tests for the paper-style column renderer."""
+
+from repro.core.trace import TraceBuilder
+from repro.traces.litmus import figure1
+from repro.traces.render import render_columns, render_witness
+
+
+class TestRenderColumns:
+    def test_threads_become_columns(self):
+        trace = TraceBuilder().wr(1, "x").rd(2, "x").build()
+        text = render_columns(trace)
+        lines = text.splitlines()
+        assert lines[0].split() == ["Thread", "1", "Thread", "2"]
+        assert "wr(x)" in lines[2]
+        assert "rd(x)" in lines[3]
+        # Thread 2's event is indented into the second column.
+        assert lines[3].index("rd(x)") > 0
+
+    def test_time_flows_downward(self):
+        trace = figure1()
+        text = render_columns(trace)
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(trace)  # header + rule + one row each
+
+    def test_highlight_marks_rows(self):
+        trace = TraceBuilder().wr(1, "x").rd(2, "x").build()
+        text = render_columns(trace, highlight=[0, 1])
+        assert text.count("<== race") == 2
+
+    def test_column_order_is_first_appearance(self):
+        trace = TraceBuilder().wr(3, "a").wr(1, "b").build()
+        header = render_columns(trace).splitlines()[0]
+        assert header.index("Thread 3") < header.index("Thread 1")
+
+    def test_empty_sequence(self):
+        assert render_columns([]) == "(empty trace)"
+
+    def test_events_without_target(self):
+        trace = TraceBuilder().begin(1).wr(1, "x").end(1).build()
+        text = render_columns(trace)
+        assert "begin" in text and "end" in text
+
+    def test_wide_labels_widen_columns(self):
+        trace = (TraceBuilder()
+                 .wr(1, "a.very.long.variable.name").rd(2, "x").build())
+        lines = render_columns(trace).splitlines()
+        assert "rd(x)" in lines[3]
+
+
+class TestRenderWitness:
+    def test_racing_pair_highlighted(self):
+        trace = figure1()
+        witness = [trace[4], trace[5], trace[6], trace[0], trace[7]]
+        text = render_witness(witness, trace[0], trace[7])
+        assert text.count("<== race") == 2
+        # The two racing rows are the last two.
+        marked = [line for line in text.splitlines() if "<== race" in line]
+        assert "wr(x)" in marked[0]
+        assert "rd(x)" in marked[1]

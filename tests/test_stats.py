@@ -1,0 +1,101 @@
+"""Tests for the statistics helpers (distances, CDFs)."""
+
+from repro.core.events import Event, EventKind
+from repro.analysis.races import DynamicRace, RaceClass
+from repro.stats.cdf import (
+    ascii_cdf_plot,
+    cdf_csv,
+    median,
+    percentage_at_least,
+    survival_series,
+)
+from repro.stats.distances import (
+    distance_range,
+    distances_by_class,
+    static_distance_ranges,
+)
+
+
+def race(eid1, eid2, loc="L", race_class=None):
+    e1 = Event(eid1, 1, EventKind.WRITE, "x", loc=f"{loc}.w")
+    e2 = Event(eid2, 2, EventKind.READ, "x", loc=f"{loc}.r")
+    return DynamicRace(first=e1, second=e2, relation="DC",
+                       race_class=race_class)
+
+
+class TestDistances:
+    def test_distance_range(self):
+        rng = distance_range([race(0, 5), race(1, 100)])
+        assert rng.minimum == 5 and rng.maximum == 99 and rng.count == 2
+
+    def test_distance_range_empty(self):
+        assert distance_range([]) is None
+
+    def test_range_str_single(self):
+        assert str(distance_range([race(0, 5)])) == "5"
+
+    def test_range_str_span(self):
+        rng = distance_range([race(0, 5), race(0, 2000)])
+        assert str(rng) == "5-2,000"
+
+    def test_static_distance_ranges(self):
+        races = [race(0, 5, "A"), race(10, 100, "A"), race(0, 7, "B")]
+        ranges = static_distance_ranges(races)
+        assert ranges[frozenset({"A.w", "A.r"})].maximum == 90
+        assert ranges[frozenset({"B.w", "B.r"})].count == 1
+
+    def test_distances_by_class(self):
+        races = [race(0, 5, race_class=RaceClass.HB),
+                 race(0, 50, race_class=RaceClass.DC_ONLY),
+                 race(0, 9)]
+        by = distances_by_class(races)
+        assert by[RaceClass.HB] == [5]
+        assert by[RaceClass.DC_ONLY] == [50]
+        assert len(by) == 2
+
+
+class TestSurvival:
+    def test_series_shape(self):
+        series = survival_series([1, 10, 100])
+        assert series[0] == (1, 100.0)
+        assert series[-1] == (100, pytest_approx(100.0 / 3))
+
+    def test_duplicates_collapse(self):
+        series = survival_series([5, 5, 5])
+        assert series == [(5, 100.0)]
+
+    def test_empty(self):
+        assert survival_series([]) == []
+
+    def test_percentage_at_least(self):
+        values = [1, 10, 100, 1000]
+        assert percentage_at_least(values, 10) == 75.0
+        assert percentage_at_least(values, 10_000) == 0.0
+        assert percentage_at_least([], 1) == 0.0
+
+    def test_median(self):
+        assert median([1, 3, 5]) == 3
+        assert median([1, 3]) == 2.0
+        assert median([]) == 0.0
+
+
+class TestRendering:
+    def test_ascii_plot_contains_legend(self):
+        plot = ascii_cdf_plot({"HB": [1, 5, 10], "DC-only": [100, 1000]})
+        assert "HB (n=3)" in plot
+        assert "DC-only (n=2)" in plot
+        assert "100%" in plot
+
+    def test_ascii_plot_empty(self):
+        assert "no dynamic races" in ascii_cdf_plot({})
+
+    def test_csv(self):
+        csv = cdf_csv({"HB": [2, 4]})
+        lines = csv.splitlines()
+        assert lines[0] == "class,event_distance,percent_at_least"
+        assert "HB,2,100.00" in lines
+
+
+def pytest_approx(x):
+    import pytest
+    return pytest.approx(x)

@@ -1,0 +1,118 @@
+"""Unit tests for the WCP/DC shared bookkeeping structures."""
+
+from repro.core.vectorclock import VectorClock
+from repro.analysis.sync_structures import CSRecord, LockQueues, SourceClocks
+
+
+class TestSourceClocks:
+    def test_join_skips_own_thread(self):
+        table = SourceClocks()
+        table.record(1, eid=5, local_time=3, clock=VectorClock({1: 3, 2: 7}))
+        target = VectorClock()
+        assert table.join_into(target, skip_tid=1) == []
+        assert target.get(2) == 0
+
+    def test_join_applies_other_threads(self):
+        table = SourceClocks()
+        table.record(1, eid=5, local_time=3, clock=VectorClock({1: 3, 2: 7}))
+        target = VectorClock()
+        assert table.join_into(target, skip_tid=2) == [5]
+        assert target.get(1) == 3
+        assert target.get(2) == 7
+
+    def test_already_ordered_entry_skipped(self):
+        table = SourceClocks()
+        table.record(1, eid=5, local_time=3, clock=VectorClock({1: 3}))
+        target = VectorClock({1: 10})
+        assert table.join_into(target, skip_tid=99) == []
+
+    def test_latest_entry_per_thread_wins(self):
+        table = SourceClocks()
+        table.record(1, eid=5, local_time=3, clock=VectorClock({1: 3}))
+        table.record(1, eid=9, local_time=6, clock=VectorClock({1: 6, 3: 2}))
+        target = VectorClock()
+        assert table.join_into(target, skip_tid=99) == [9]
+        assert target.get(1) == 6
+        assert target.get(3) == 2
+
+    def test_bool(self):
+        table = SourceClocks()
+        assert not table
+        table.record(1, 0, 1, VectorClock())
+        assert table
+
+
+class TestLockQueues:
+    def _queues_with_closed_section(self, tid, acq_time, rel_eid, rel_time,
+                                    clock):
+        queues = LockQueues()
+        queues.on_acquire(tid, acq_time)
+        queues.on_release(rel_eid, rel_time, clock)
+        return queues
+
+    def test_consumes_ordered_section(self):
+        queues = self._queues_with_closed_section(
+            1, acq_time=2, rel_eid=7, rel_time=4,
+            clock=VectorClock({1: 4, 3: 9}))
+        # Observer 2's clock already covers the acquire (time 2).
+        clock = VectorClock({1: 2})
+        assert queues.apply_rule_b(2, clock) == [7]
+        assert clock.get(1) == 4
+        assert clock.get(3) == 9
+
+    def test_unordered_acquire_blocks(self):
+        queues = self._queues_with_closed_section(
+            1, acq_time=5, rel_eid=7, rel_time=6, clock=VectorClock({1: 6}))
+        clock = VectorClock({1: 2})  # acquire (time 5) not covered
+        assert queues.apply_rule_b(2, clock) == []
+        assert clock.get(1) == 2
+
+    def test_open_section_blocks(self):
+        queues = LockQueues()
+        queues.on_acquire(1, 1)
+        clock = VectorClock({1: 5})
+        assert queues.apply_rule_b(2, clock) == []
+
+    def test_cursor_prevents_reconsuming(self):
+        queues = self._queues_with_closed_section(
+            1, acq_time=1, rel_eid=3, rel_time=2, clock=VectorClock({1: 2}))
+        clock = VectorClock({1: 1})
+        assert queues.apply_rule_b(2, clock) == [3]
+        assert queues.apply_rule_b(2, clock) == []
+
+    def test_fixpoint_cascades_across_threads(self):
+        # Consuming thread 1's section orders thread 3's acquire, which
+        # must then be consumed in the same call.
+        queues = LockQueues()
+        queues.on_acquire(1, 1)
+        queues.on_release(rel_eid=2, rel_local_time=2,
+                          snapshot=VectorClock({1: 2, 3: 4}))
+        queues.on_acquire(3, 4)
+        queues.on_release(rel_eid=9, rel_local_time=5,
+                          snapshot=VectorClock({3: 5, 4: 8}))
+        clock = VectorClock({1: 1})  # covers only thread 1's acquire
+        consumed = queues.apply_rule_b(2, clock)
+        assert consumed == [2, 9]
+        assert clock.get(4) == 8
+
+    def test_per_observer_cursors_are_independent(self):
+        queues = self._queues_with_closed_section(
+            1, acq_time=1, rel_eid=3, rel_time=2, clock=VectorClock({1: 2}))
+        clock_a = VectorClock({1: 1})
+        clock_b = VectorClock({1: 1})
+        assert queues.apply_rule_b(2, clock_a) == [3]
+        assert queues.apply_rule_b(3, clock_b) == [3]
+
+    def test_already_covered_release_consumed_silently(self):
+        queues = self._queues_with_closed_section(
+            1, acq_time=1, rel_eid=3, rel_time=2, clock=VectorClock({1: 2}))
+        clock = VectorClock({1: 5})  # already past the release
+        assert queues.apply_rule_b(2, clock) == []
+        # And the cursor advanced: nothing left to consume.
+        assert queues.cursors[2][1] == 1
+
+    def test_record_dataclass(self):
+        record = CSRecord(tid=1, acq_local_time=4)
+        assert not record.closed
+        record.rel_clock = VectorClock()
+        assert record.closed

@@ -1,0 +1,135 @@
+"""Property tests for the soundness theorems the paper builds on.
+
+The paper's soundness story rests on prior results it cites and uses:
+
+* **HB soundness**: the *first* HB-race of an execution is always a
+  predictable race (this is why non-predictive detectors are sound for
+  the first race);
+* **WCP soundness modulo deadlock** (Kini et al., used in Sections 2.3
+  and 5.3): an execution with a WCP-race has a predictable race *or* a
+  predictable deadlock. Note the statement is about the execution (its
+  first race), not about every WCP-unordered pair — later pairs may
+  depend on earlier races, which is exactly why the online detectors
+  force order after reporting.
+
+Both are checked against the brute-force reordering oracle, whose
+deadlock detection is exercised directly as well.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import TraceBuilder
+from repro.analysis.reference import ReferenceAnalysis
+from repro.vindicate.oracle import (
+    OracleBudgetExceededError,
+    PredictabilityOracle,
+)
+from repro.traces.gen import GeneratorConfig, random_trace
+
+SETTINGS = settings(max_examples=50, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+small_configs = st.builds(
+    GeneratorConfig,
+    threads=st.integers(2, 4),
+    events=st.integers(6, 14),
+    variables=st.integers(1, 3),
+    locks=st.integers(1, 3),
+    max_nesting=st.integers(1, 2),
+)
+
+
+def oracle_for(trace):
+    try:
+        oracle = PredictabilityOracle(trace, max_states=120_000)
+        oracle.predictable_pairs()
+        return oracle
+    except OracleBudgetExceededError:
+        return None
+
+
+class TestDeadlockOracle:
+    def test_crossed_lock_order_is_predictable_deadlock(self):
+        trace = (TraceBuilder()
+                 .acq(1, "m").acq(1, "n").rel(1, "n").rel(1, "m")
+                 .acq(2, "n").acq(2, "m").rel(2, "m").rel(2, "n")
+                 .build())
+        assert PredictabilityOracle(trace).has_predictable_deadlock()
+
+    def test_consistent_lock_order_has_no_deadlock(self):
+        trace = (TraceBuilder()
+                 .acq(1, "m").acq(1, "n").rel(1, "n").rel(1, "m")
+                 .acq(2, "m").acq(2, "n").rel(2, "n").rel(2, "m")
+                 .build())
+        assert not PredictabilityOracle(trace).has_predictable_deadlock()
+
+    def test_single_lock_never_deadlocks(self):
+        trace = (TraceBuilder()
+                 .acq(1, "m").rel(1, "m").acq(2, "m").rel(2, "m").build())
+        assert not PredictabilityOracle(trace).has_predictable_deadlock()
+
+    def test_three_way_deadlock(self):
+        trace = (TraceBuilder()
+                 .acq(1, "a").acq(1, "b").rel(1, "b").rel(1, "a")
+                 .acq(2, "b").acq(2, "c").rel(2, "c").rel(2, "b")
+                 .acq(3, "c").acq(3, "a").rel(3, "a").rel(3, "c")
+                 .build())
+        assert PredictabilityOracle(trace).has_predictable_deadlock()
+
+    def test_guard_lock_prevents_deadlock(self):
+        # Both nests happen under a common guard: no deadlock possible.
+        trace = (TraceBuilder()
+                 .acq(1, "g").acq(1, "m").acq(1, "n").rel(1, "n").rel(1, "m")
+                 .rel(1, "g")
+                 .acq(2, "g").acq(2, "n").acq(2, "m").rel(2, "m").rel(2, "n")
+                 .rel(2, "g")
+                 .build())
+        assert not PredictabilityOracle(trace).has_predictable_deadlock()
+
+
+class TestHBFirstRaceSoundness:
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), config=small_configs)
+    def test_first_hb_race_is_predictable(self, seed, config):
+        trace = random_trace(seed, config)
+        ref = ReferenceAnalysis(trace)
+        races = ref.hb_races()
+        if not races:
+            return
+        oracle = oracle_for(trace)
+        if oracle is None:
+            return
+        first = min(races, key=lambda r: (r.second.eid, -r.first.eid))
+        assert oracle.is_predictable(first.first, first.second)
+
+
+class TestWCPSoundnessModuloDeadlock:
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), config=small_configs)
+    def test_wcp_race_implies_race_or_deadlock(self, seed, config):
+        trace = random_trace(seed, config)
+        ref = ReferenceAnalysis(trace)
+        if not ref.wcp_races():
+            return
+        oracle = oracle_for(trace)
+        if oracle is None:
+            return
+        assert (oracle.has_predictable_race()
+                or oracle.has_predictable_deadlock())
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), config=small_configs)
+    def test_first_wcp_race_is_race_or_deadlock(self, seed, config):
+        trace = random_trace(seed, config)
+        ref = ReferenceAnalysis(trace)
+        races = ref.wcp_races()
+        if not races:
+            return
+        oracle = oracle_for(trace)
+        if oracle is None:
+            return
+        first = min(races, key=lambda r: (r.second.eid, -r.first.eid))
+        assert (oracle.is_predictable(first.first, first.second)
+                or oracle.has_predictable_deadlock())

@@ -1,0 +1,146 @@
+"""Unit tests for the WCP detector (Definition 2.6 semantics)."""
+
+from repro.core.trace import TraceBuilder
+from repro.analysis.wcp import WCPDetector
+from repro.traces.litmus import figure1, figure2
+
+
+def races_of(trace):
+    return [(r.first.eid, r.second.eid)
+            for r in WCPDetector().analyze(trace).races]
+
+
+class TestRuleA:
+    def test_conflicting_critical_sections_order(self):
+        # wr(x) and rd(x) both inside critical sections on m: rule (a)
+        # orders rel1 before rd(x), so no WCP-race.
+        trace = (TraceBuilder()
+                 .acq(1, "m").wr(1, "x").rel(1, "m")
+                 .acq(2, "m").rd(2, "x").rel(2, "m")
+                 .build())
+        assert races_of(trace) == []
+
+    def test_read_read_critical_sections_do_not_order(self):
+        # Reads do not conflict, so rule (a) does not fire; the write
+        # after the sections races with the first read.
+        trace = (TraceBuilder()
+                 .acq(1, "m").rd(1, "x").rel(1, "m")
+                 .acq(2, "m").rd(2, "x").rel(2, "m")
+                 .wr(3, "x")
+                 .build())
+        det = WCPDetector()
+        report = det.analyze(trace)
+        # Only the shortest race is recorded, but both reads are racing.
+        assert [(r.first.eid, r.second.eid) for r in report.races] == [(4, 6)]
+        assert det.racing_at[6] == frozenset({1, 4})
+
+    def test_empty_critical_sections_do_not_order(self):
+        # Unlike HB, passing through the same lock does not order.
+        trace = (TraceBuilder()
+                 .wr(1, "x").acq(1, "m").rel(1, "m")
+                 .acq(2, "m").rel(2, "m").rd(2, "x")
+                 .build())
+        assert races_of(trace) == [(0, 5)]
+
+    def test_figure1_wcp_race(self):
+        assert races_of(figure1()) == [(0, 7)]
+
+    def test_rule_a_left_hb_composition(self):
+        # Everything HB-before the earlier section's release is
+        # WCP-before the conflicting access: the escaped write of x is
+        # PO-before rel(m), hence ordered before the read of x *inside*
+        # the second section... but x is only read outside any section,
+        # so here we check y's protection orders the trailing read.
+        trace = (TraceBuilder()
+                 .wr(1, "x")
+                 .acq(1, "m").wr(1, "y").rel(1, "m")
+                 .acq(2, "m").rd(2, "y").rel(2, "m")
+                 .rd(2, "y")
+                 .build())
+        # y's accesses are ordered by rule (a); the trailing unprotected
+        # rd(y) is ordered after wr(y) through left/right HB composition.
+        assert all(pair[1] != 7 for pair in races_of(trace))
+
+
+class TestRuleB:
+    def test_release_release_ordering(self):
+        # A(r1) ≺WCP r2 (via a conflict on y) implies r1 ≺WCP r2; combined
+        # with HB composition this orders the x accesses.
+        trace = (TraceBuilder()
+                 .acq(1, "m").wr(1, "y").wr(1, "x").rel(1, "m")
+                 .acq(2, "m").rd(2, "y").rel(2, "m")
+                 .rd(2, "x")
+                 .build())
+        assert races_of(trace) == []
+
+
+class TestHBComposition:
+    def test_right_composition_through_lock(self):
+        # rel(o)1 ≺WCP rd(y)2 and rd(y)2 ≺HB rd(x)3 via the m hand-off:
+        # wr(x) is WCP-ordered before rd(x) (figure 2: no WCP race).
+        assert races_of(figure2()) == []
+
+    def test_composition_through_fork(self):
+        trace = (TraceBuilder()
+                 .wr(1, "x").fork(1, 2).rd(2, "x").build())
+        assert races_of(trace) == []
+
+    def test_composition_through_join(self):
+        trace = (TraceBuilder()
+                 .wr(2, "x").join(1, 2).rd(1, "x").build())
+        assert races_of(trace) == []
+
+    def test_composition_through_volatile(self):
+        trace = (TraceBuilder()
+                 .wr(1, "x").vwr(1, "v").vrd(2, "v").rd(2, "x").build())
+        assert races_of(trace) == []
+
+    def test_volatile_without_edge_does_not_order(self):
+        trace = (TraceBuilder()
+                 .wr(1, "x").vrd(2, "v").rd(2, "x").build())
+        assert races_of(trace) == [(0, 2)]
+
+
+class TestWCPWeakerThanHB:
+    def test_every_wcp_race_is_detected_where_hb_is_silent(self):
+        # Figure 1: HB finds nothing, WCP finds the race.
+        from repro.analysis.hb import HBDetector
+        trace = figure1()
+        assert HBDetector().analyze(trace).dynamic_count == 0
+        assert WCPDetector().analyze(trace).dynamic_count == 1
+
+    def test_hb_race_is_always_wcp_race(self):
+        trace = TraceBuilder().wr(1, "x").wr(2, "x").build()
+        assert races_of(trace) == [(0, 1)]
+
+
+class TestOwnThreadRuleB:
+    def test_same_thread_critical_sections_feed_left_composition(self):
+        # Thread 2's first section is WCP-ordered before its second
+        # release through a cross-thread conflict chain; rule (b) then
+        # orders the releases even though they belong to one thread, and
+        # left HB composition makes earlier T1 events WCP-predecessors.
+        trace = (TraceBuilder()
+                 .wr(1, "z")
+                 .acq(1, "m").wr(1, "y").rel(1, "m")
+                 .acq(2, "m").rd(2, "y").rel(2, "m")
+                 .acq(2, "m").rel(2, "m")
+                 .rd(2, "z")
+                 .build())
+        det = WCPDetector()
+        det.analyze(trace)
+        # wr(z) must be WCP-ordered before thread 2's current point.
+        assert det.ordered_to_current(trace[0], 2)
+
+
+class TestQueries:
+    def test_ordered_to_current_same_thread_is_po(self):
+        trace = TraceBuilder().wr(1, "x").rd(1, "x").build()
+        det = WCPDetector()
+        det.analyze(trace)
+        assert det.ordered_to_current(trace[0], 1)
+
+    def test_clock_of_unknown_thread(self):
+        det = WCPDetector()
+        det.analyze(TraceBuilder().wr(1, "x").build())
+        assert det.clock_of("nope") is None

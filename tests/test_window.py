@@ -1,0 +1,98 @@
+"""Tests for AddConstraints's event-window optimisation."""
+
+import pytest
+
+from repro.analysis.dc import DCDetector
+from repro.graph.constraint_graph import ConstraintGraph
+from repro.vindicate.vindicator import Verdict, Vindicator, vindicate_race
+from repro.vindicate.verify import check_witness
+from repro.traces.litmus import ALL, figure2, figure3
+from repro.traces.gen import GeneratorConfig, random_trace
+
+
+class TestWindowedBFS:
+    def test_within_restricts_traversal(self):
+        g = ConstraintGraph()
+        g.add_edge(0, 5)
+        g.add_edge(5, 10)
+        g.add_edge(10, 20)
+        assert g.descendants([0]) == {5, 10, 20}
+        assert g.descendants([0], within=(0, 10)) == {5, 10}
+        # Out-of-window nodes block the paths through them.
+        assert g.descendants([0], within=(0, 9)) == {5}
+
+    def test_ancestors_within(self):
+        g = ConstraintGraph()
+        g.add_edge(0, 5)
+        g.add_edge(5, 10)
+        assert g.ancestors([10], within=(5, 10)) == {5}
+
+
+class TestWindowedVindication:
+    def test_figure2_same_result(self):
+        trace = figure2()
+        det = DCDetector()
+        report = det.analyze(trace)
+        race = report.races[0]
+        full = vindicate_race(det.graph, trace, race, use_window=False)
+        windowed = vindicate_race(det.graph, trace, race, use_window=True)
+        assert full.verdict is windowed.verdict is Verdict.RACE
+
+    def test_figure3_ls_constraint_still_found(self):
+        trace = figure3()
+        det = DCDetector()
+        report = det.analyze(trace)
+        race = report.races[-1]
+        windowed = vindicate_race(det.graph, trace, race, use_window=True)
+        assert windowed.verdict is Verdict.RACE
+
+    @pytest.mark.parametrize("name", sorted(ALL))
+    def test_litmus_verdicts_compatible(self, name):
+        """RACE verdicts must be identical; a refutation may soundly
+        degrade to *don't know* when the refuting cycle lies outside the
+        window (wcp_deadlock exhibits this)."""
+        trace = ALL[name]()
+        transitive = not name.startswith("figure4")
+        plain = Vindicator(vindicate_all=True,
+                           transitive_force=transitive).run(trace)
+        windowed = Vindicator(vindicate_all=True, transitive_force=transitive,
+                              use_window=True).run(trace)
+        for full, win in zip(plain.vindications, windowed.vindications):
+            if full.verdict is Verdict.RACE or win.verdict is Verdict.RACE:
+                assert full.verdict is win.verdict, name
+
+    def test_window_degrades_wcp_deadlock_refutation_soundly(self):
+        from repro.traces.litmus import wcp_deadlock
+        trace = wcp_deadlock()
+        plain = Vindicator(vindicate_all=True).run(trace)
+        windowed = Vindicator(vindicate_all=True, use_window=True).run(trace)
+        assert plain.vindications[0].verdict is Verdict.NO_RACE
+        assert windowed.vindications[0].verdict is Verdict.UNKNOWN
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_traces_verdicts_unchanged(self, seed):
+        cfg = GeneratorConfig(threads=3, events=25, locks=2, variables=2,
+                              max_nesting=2)
+        trace = random_trace(seed, cfg)
+        det = DCDetector()
+        det.analyze(trace)
+        for race in det.report.races:
+            full = vindicate_race(det.graph, trace, race, use_window=False)
+            windowed = vindicate_race(det.graph, trace, race, use_window=True)
+            assert full.verdict is windowed.verdict
+            if windowed.witness is not None:
+                check_witness(trace, windowed.witness, race.first, race.second)
+
+    def test_windowed_adds_at_most_as_many_ls_edges(self):
+        cfg = GeneratorConfig(threads=3, events=30, locks=3, variables=2,
+                              max_nesting=2)
+        for seed in range(10):
+            trace = random_trace(seed, cfg)
+            det = DCDetector()
+            det.analyze(trace)
+            for race in det.report.races:
+                full = vindicate_race(det.graph, trace, race,
+                                      use_window=False)
+                windowed = vindicate_race(det.graph, trace, race,
+                                          use_window=True)
+                assert windowed.ls_constraints <= full.ls_constraints

@@ -1,0 +1,118 @@
+"""Tests for the DaCapo-analog workloads (Table 1's shape)."""
+
+import pytest
+
+from repro.analysis.races import RaceClass
+from repro.runtime import execute, fast_path_filter
+from repro.runtime.workloads import WORKLOADS
+from repro.vindicate.vindicator import Verdict, Vindicator
+
+RACE_FREE = {"batik", "lusearch"}
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """One analysed execution per workload (module-cached)."""
+    out = {}
+    for name, factory in WORKLOADS.items():
+        trace = execute(factory(scale=0.5), seed=11)
+        filtered, _ = fast_path_filter(trace)
+        out[name] = (trace, Vindicator().run(filtered))
+    return out
+
+
+class TestStructure:
+    def test_all_ten_dacapo_programs_present(self):
+        assert sorted(WORKLOADS) == ["avrora", "batik", "h2", "jython",
+                                     "luindex", "lusearch", "pmd", "sunflow",
+                                     "tomcat", "xalan"]
+
+    def test_traces_are_valid_and_multithreaded(self, reports):
+        for name, (trace, _) in reports.items():
+            assert len(trace.threads) >= 2, name
+            assert len(trace) > 50, name
+
+    def test_scale_controls_size(self):
+        small = execute(WORKLOADS["avrora"](scale=0.2), seed=0)
+        big = execute(WORKLOADS["avrora"](scale=1.0), seed=0)
+        assert len(big) > len(small)
+
+    def test_locations_attached_to_racy_accesses(self, reports):
+        for name, (_, report) in reports.items():
+            for race in report.dc.races:
+                assert race.first.loc is not None, name
+                assert race.second.loc is not None, name
+
+
+class TestRaceShape:
+    def test_race_free_workloads(self, reports):
+        for name in RACE_FREE:
+            _, report = reports[name]
+            assert report.dc.dynamic_count == 0, name
+
+    def test_racy_workloads_have_races(self, reports):
+        for name, (_, report) in reports.items():
+            if name not in RACE_FREE:
+                assert report.dc.dynamic_count > 0, name
+
+    def test_subset_property(self, reports):
+        for name, (_, report) in reports.items():
+            assert report.hb.static_count <= report.wcp.static_count, name
+            assert report.wcp.static_count <= report.dc.static_count, name
+            assert report.hb.dynamic_count <= report.wcp.dynamic_count, name
+            assert report.wcp.dynamic_count <= report.dc.dynamic_count, name
+
+    def test_xalan_wcp_exceeds_hb(self, reports):
+        """Table 1's signature result: xalan has far more WCP than HB
+        static races (4 vs 63 in the paper)."""
+        _, report = reports["xalan"]
+        assert report.wcp.static_count >= 2 * report.hb.static_count
+
+    def test_xalan_has_dc_only_races(self, reports):
+        _, report = reports["xalan"]
+        assert report.dc_only_races
+
+    def test_h2_has_dc_only_string_cache_race(self, reports):
+        _, report = reports["h2"]
+        locs = {loc for race in report.dc_only_races for loc in race.static_key}
+        assert any("StringCache" in loc for loc in locs)
+
+    def test_luindex_has_exactly_one_static_race(self, reports):
+        _, report = reports["luindex"]
+        assert report.dc.static_count == 1
+
+    def test_tomcat_dominates_static_counts(self, reports):
+        tomcat = reports["tomcat"][1].dc.static_count
+        for name, (_, report) in reports.items():
+            if name not in ("tomcat", "xalan"):
+                assert tomcat >= report.dc.static_count, name
+
+
+class TestHeadline:
+    def test_every_dc_only_race_vindicates_true(self, reports):
+        """The paper's headline: every dynamic DC-only race is confirmed
+        to be a true predictable race."""
+        for name, (_, report) in reports.items():
+            for v in report.vindications:
+                assert v.verdict is Verdict.RACE, (name, str(v))
+                assert v.witness is not None
+
+    def test_dc_only_distances_exceed_hb_distances(self, reports):
+        """Figure 6's shape: DC-only races sit farther apart (checked on
+        the aggregate over all workloads to smooth scheduling noise)."""
+        from repro.stats.distances import distances_by_class
+        from repro.stats.cdf import median
+        all_races = [r for (_, report) in reports.values()
+                     for r in report.dc.races]
+        by_class = distances_by_class(all_races)
+        dc_only = by_class.get(RaceClass.DC_ONLY, [])
+        hb = by_class.get(RaceClass.HB, [])
+        assert dc_only and hb
+        assert median(dc_only) > median(hb)
+
+
+class TestDeterminism:
+    def test_workloads_reproducible(self):
+        a = execute(WORKLOADS["pmd"](scale=0.3), seed=3)
+        b = execute(WORKLOADS["pmd"](scale=0.3), seed=3)
+        assert [str(e) for e in a] == [str(e) for e in b]
