@@ -89,14 +89,22 @@ def test_table4_summary(perf_trace, benchmark):
              "-" * 60]
     for label, throughput, slowdown in rows:
         lines.append(f"{label:22s} | {throughput:12,.0f} | {slowdown:17.1f}x")
-    # VindicateRace time per race, on the same trace.
+    # VindicateRace time per race, on the same trace (best of 3 runs —
+    # per-race wall times are witness-check dominated and noisy).
     from repro.vindicate.vindicator import Vindicator
-    report = Vindicator().run(perf_trace)
+    report = min((Vindicator().run(perf_trace) for _ in range(3)),
+                 key=lambda r: r.vindication_seconds)
     if report.vindications:
         per_race = [v.elapsed_seconds * 1e3 for v in report.vindications]
         lines.append("")
         lines.append(f"VindicateRace: {len(per_race)} DC-only races, "
                      f"{min(per_race):.1f}-{max(per_race):.1f} ms per race")
+        counters = report.dc.counters
+        lines.append("reachability cache: "
+                     f"{counters.get('reach_hits', 0):,} hits, "
+                     f"{counters.get('reach_misses', 0):,} misses, "
+                     f"{counters.get('reach_invalidations', 0):,} "
+                     "invalidations")
     write_result("table4.txt", "\n".join(lines))
 
     throughputs = {label: tp for label, tp, _ in rows}

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.events import Event, Target, Tid
+from repro.core.exceptions import MalformedTraceError
 from repro.core.trace import Trace
 from repro.core.vectorclock import VectorClock
 from repro.analysis.base import Detector
@@ -152,7 +153,17 @@ class DCDetector(Detector):
     def on_release(self, e: Event) -> None:
         clock = self._advance(e)
         assert self.trace is not None
-        queues = self._queues[e.target]
+        queues = self._queues.get(e.target)
+        if queues is None or queues.open_record is None \
+                or queues.open_record.tid != e.tid:
+            # Streaming traces bypass Trace's construction-time
+            # validation, so a release without a matching acquire must
+            # surface as a malformed-trace error, not a KeyError.
+            raise MalformedTraceError(
+                f"{e}: releases lock {e.target!r} with no matching acquire "
+                f"by thread {e.tid!r}",
+                event_index=e.eid,
+            )
         self._add_edges(queues.apply_rule_b(e.tid, clock), e.eid)
         snapshot = clock.copy()
         local_time = self.trace.local_time[e.eid]
@@ -176,6 +187,15 @@ class DCDetector(Detector):
 
     def on_join(self, e: Event) -> None:
         clock = self._advance(e)
+        pending = self._pending_fork.pop(e.target, None)
+        if pending is not None:
+            # The child never executed an event, so its first-event hook
+            # never consumed the fork: the fork ordering still flows
+            # through the (empty) child into the join, both in the clock
+            # and as a fork→join graph edge.
+            fork_eid, parent_clock = pending
+            clock.join(parent_clock)
+            self._add_edge(fork_eid, e.eid)
         child_clock = self._clocks.get(e.target)
         if child_clock is not None:
             clock.join(child_clock)

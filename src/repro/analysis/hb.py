@@ -84,6 +84,11 @@ class HBDetector(Detector):
 
     def on_join(self, e: Event) -> None:
         clock = self._advance(e)
+        pending = self._pending_fork.pop(e.target, None)
+        if pending is not None:
+            # Child never executed an event: the fork ordering still
+            # flows through the (empty) child into the join.
+            clock.join(pending)
         child = self._clocks.get(e.target)
         if child is not None:
             clock.join(child)

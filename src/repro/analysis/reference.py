@@ -119,17 +119,25 @@ class ReferenceAnalysis:
         m = np.zeros((self.n, self.n), dtype=bool)
         first_of: Dict[Tid, int] = {}
         last_of: Dict[Tid, int] = {}
+        fork_of: Dict[Tid, int] = {}
         for e in self.trace:
             if e.tid not in first_of:
                 first_of[e.tid] = e.eid
             last_of[e.tid] = e.eid
+            if e.kind is EventKind.FORK:
+                fork_of[e.target] = e.eid
         vol_accesses: Dict[Target, List[Event]] = {}
         for e in self.trace:
             if e.kind is EventKind.FORK and e.target in first_of:
                 m[e.eid, first_of[e.target]] = True
-            elif e.kind is EventKind.JOIN and e.target in last_of:
-                if last_of[e.target] < e.eid:
+            elif e.kind is EventKind.JOIN:
+                if e.target in last_of and last_of[e.target] < e.eid:
                     m[last_of[e.target], e.eid] = True
+                elif e.target not in last_of and e.target in fork_of:
+                    # The joined child never executed an event; the fork
+                    # still orders before the join through the (empty)
+                    # child's lifetime.
+                    m[fork_of[e.target], e.eid] = True
             elif e.kind.is_volatile:
                 prior_list = vol_accesses.setdefault(e.target, [])
                 for prior in prior_list:

@@ -177,6 +177,13 @@ class WCPDetector(Detector):
 
     def on_join(self, e: Event) -> None:
         h, p = self._advance(e)
+        pending = self._pending_fork.pop(e.target, None)
+        if pending is not None:
+            # Child never executed an event: the fork ordering still
+            # flows through the (empty) child into the join.
+            parent_h, parent_p = pending
+            h.join(parent_h)
+            p.join(parent_p)
         child_h = self._h.get(e.target)
         if child_h is not None:
             h.join(child_h)

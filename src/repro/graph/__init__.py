@@ -1,5 +1,7 @@
-"""The constraint graph used by DC analysis and VindicateRace."""
+"""The constraint graph used by DC analysis and VindicateRace, plus the
+memoizing reachability engine that accelerates its hot-path queries."""
 
 from repro.graph.constraint_graph import ConstraintGraph
+from repro.graph.reachability import ReachabilityIndex
 
-__all__ = ["ConstraintGraph"]
+__all__ = ["ConstraintGraph", "ReachabilityIndex"]

@@ -16,27 +16,59 @@ VindicateRace then temporarily adds *consecutive-event* and
 afterwards, leaving ``G`` pristine for the next race (Section 6.1,
 "VindicateRace").
 
-Edge lists are kept in both directions because AddConstraints queries
+Adjacency is kept in both directions because AddConstraints queries
 direct predecessors of the racing events, and reachability is needed both
-forward (descendants) and backward (ancestors).
+forward (descendants) and backward (ancestors). Since event ids are dense
+trace positions, adjacency is an event-id-indexed array of per-node sets:
+``has_edge`` and ``remove_edge`` are O(1), which matters under
+VindicateRace's add/remove-tagged-edges churn (one batch of temporary
+edges per vindicated race).
+
+Every successful mutation bumps :attr:`ConstraintGraph.generation` and
+is recorded in a bounded mutation journal;
+:class:`~repro.graph.reachability.ReachabilityIndex` uses the generation
+to detect staleness and the journal to invalidate only the memoized
+closures an edge insertion can actually affect.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 Edge = Tuple[int, int]
 
+#: Shared immutable empty adjacency for out-of-range nodes.
+_EMPTY: FrozenSet[int] = frozenset()
+
 
 class ConstraintGraph:
-    """A directed graph over event ids with tagged, removable edges."""
+    """A directed graph over dense event ids with removable edges."""
+
+    #: Journal entries kept before consumers fall back to a full flush.
+    _JOURNAL_LIMIT = 4096
 
     def __init__(self, num_events: int = 0):
-        self._succ: Dict[int, List[int]] = {}
-        self._pred: Dict[int, List[int]] = {}
-        self._edges: Set[Edge] = set()
+        self._succ: List[Set[int]] = [set() for _ in range(num_events)]
+        self._pred: List[Set[int]] = [set() for _ in range(num_events)]
+        self._edge_count = 0
         self.num_events = num_events
+        #: Bumped on every successful ``add_edge``/``remove_edge``; lets
+        #: reachability caches detect staleness without subscriptions.
+        self.generation = 0
+        #: Bounded log of successful mutations as ``(is_add, src, dst)``;
+        #: lets reachability caches invalidate selectively (see
+        #: :meth:`mutations_since`). ``_journal_base`` is the absolute
+        #: position of ``_journal[0]``.
+        self._journal: List[Tuple[bool, int, int]] = []
+        self._journal_base = 0
+
+    def _grow(self, eid: int) -> None:
+        if eid >= self.num_events:
+            for _ in range(self.num_events, eid + 1):
+                self._succ.append(set())
+                self._pred.append(set())
+            self.num_events = eid + 1
 
     # ------------------------------------------------------------------
     # Mutation
@@ -45,48 +77,90 @@ class ConstraintGraph:
         """Add edge ``src -> dst``. Returns False if already present."""
         if src == dst:
             raise ValueError(f"self edge on event {src}")
-        edge = (src, dst)
-        if edge in self._edges:
+        self._grow(src if src > dst else dst)
+        succ = self._succ[src]
+        if dst in succ:
             return False
-        self._edges.add(edge)
-        self._succ.setdefault(src, []).append(dst)
-        self._pred.setdefault(dst, []).append(src)
-        if src >= self.num_events:
-            self.num_events = src + 1
-        if dst >= self.num_events:
-            self.num_events = dst + 1
+        succ.add(dst)
+        self._pred[dst].add(src)
+        self._edge_count += 1
+        self.generation += 1
+        self._record(True, src, dst)
         return True
 
     def remove_edge(self, src: int, dst: int) -> None:
         """Remove an edge previously added with :meth:`add_edge`."""
-        edge = (src, dst)
-        if edge not in self._edges:
+        if src >= self.num_events or dst not in self._succ[src]:
             return
-        self._edges.remove(edge)
-        self._succ[src].remove(dst)
-        self._pred[dst].remove(src)
+        self._succ[src].discard(dst)
+        self._pred[dst].discard(src)
+        self._edge_count -= 1
+        self.generation += 1
+        self._record(False, src, dst)
+
+    def _record(self, is_add: bool, src: int, dst: int) -> None:
+        journal = self._journal
+        journal.append((is_add, src, dst))
+        if len(journal) > self._JOURNAL_LIMIT:
+            # Discard the backlog; consumers behind it do a full flush.
+            self._journal_base += len(journal)
+            journal.clear()
+
+    @property
+    def journal_position(self) -> int:
+        """Absolute position just past the latest journal entry."""
+        return self._journal_base + len(self._journal)
+
+    def mutations_since(self, pos: int):
+        """Journal entries from absolute position ``pos`` onward, with
+        the new position: ``(entries, new_pos)``. ``entries`` is None
+        when the backlog has been discarded (the caller must treat every
+        cached derivation as stale)."""
+        start = pos - self._journal_base
+        if start < 0:
+            return None, self.journal_position
+        return self._journal[start:], self.journal_position
 
     # ------------------------------------------------------------------
     # Structure queries
     # ------------------------------------------------------------------
     def has_edge(self, src: int, dst: int) -> bool:
-        return (src, dst) in self._edges
+        return src < self.num_events and dst in self._succ[src]
 
     def successors(self, node: int) -> List[int]:
-        return self._succ.get(node, [])
+        if node >= self.num_events or node < 0:
+            return []
+        return list(self._succ[node])
 
     def predecessors(self, node: int) -> List[int]:
-        return self._pred.get(node, [])
+        if node >= self.num_events or node < 0:
+            return []
+        return list(self._pred[node])
+
+    def successor_set(self, node: int):
+        """The successor set itself (read-only; O(1), no copy)."""
+        if 0 <= node < self.num_events:
+            return self._succ[node]
+        return _EMPTY
+
+    def predecessor_set(self, node: int):
+        """The predecessor set itself (read-only; O(1), no copy)."""
+        if 0 <= node < self.num_events:
+            return self._pred[node]
+        return _EMPTY
 
     def edges(self) -> Iterator[Edge]:
-        return iter(self._edges)
+        for src, succ in enumerate(self._succ):
+            for dst in succ:
+                yield (src, dst)
 
     @property
     def edge_count(self) -> int:
-        return len(self._edges)
+        return self._edge_count
 
     # ------------------------------------------------------------------
-    # Reachability
+    # Reachability (direct BFS; see repro.graph.reachability for the
+    # memoizing engine used by the vindication hot paths)
     # ------------------------------------------------------------------
     def descendants(self, roots: Iterable[int],
                     include_roots: bool = False,
@@ -104,16 +178,18 @@ class ConstraintGraph:
         """All nodes from which some root is reachable (``e ⇝_G root``)."""
         return self._bfs(roots, self._pred, include_roots, within)
 
-    @staticmethod
-    def _bfs(roots: Iterable[int], adjacency: Dict[int, List[int]],
+    def _bfs(self, roots: Iterable[int], adjacency: List[Set[int]],
              include_roots: bool,
              within: Optional[Tuple[int, int]] = None) -> Set[int]:
         roots = list(roots)
+        n = self.num_events
         seen: Set[int] = set()
         queue = deque(roots)
         while queue:
             node = queue.popleft()
-            for nxt in adjacency.get(node, ()):
+            if node >= n or node < 0:
+                continue
+            for nxt in adjacency[node]:
                 if nxt in seen:
                     continue
                 if within is not None and not within[0] <= nxt <= within[1]:
@@ -129,24 +205,27 @@ class ConstraintGraph:
 
     def reaches(self, src: int, dst: int) -> bool:
         """``src ⇝_G dst``: strict reachability (at least one edge)."""
+        if src >= self.num_events or src < 0:
+            return False
         if src == dst:
             # A node reaches itself only through a cycle.
             return self._on_cycle(src)
         seen = {src}
         queue = deque([src])
+        n = self.num_events
         while queue:
             node = queue.popleft()
-            for nxt in self._succ.get(node, ()):
+            for nxt in self._succ[node]:
                 if nxt == dst:
                     return True
-                if nxt not in seen:
+                if nxt not in seen and nxt < n:
                     seen.add(nxt)
                     queue.append(nxt)
         return False
 
     def _on_cycle(self, node: int) -> bool:
         seen: Set[int] = set()
-        queue = deque(self._succ.get(node, ()))
+        queue = deque(self._succ[node])
         while queue:
             cur = queue.popleft()
             if cur == node:
@@ -154,26 +233,32 @@ class ConstraintGraph:
             if cur in seen:
                 continue
             seen.add(cur)
-            queue.extend(self._succ.get(cur, ()))
+            queue.extend(self._succ[cur])
         return False
 
-    def find_cycle_reaching(self, targets: Set[int]) -> Optional[List[int]]:
+    def find_cycle_reaching(self, targets: Set[int],
+                            region: Optional[Set[int]] = None) -> Optional[List[int]]:
         """Find a cycle among nodes that reach one of ``targets``
         (Algorithm 1, lines 20–21: a cycle is only disqualifying when it
         constrains the racing events). Returns the cycle's nodes or None.
 
         Implemented as an iterative DFS with colouring over the subgraph
         induced by the ancestors of ``targets`` (targets included).
+        ``region`` optionally supplies that ancestor set precomputed (e.g.
+        by a :class:`~repro.graph.reachability.ReachabilityIndex`).
         """
-        region = self.ancestors(targets, include_roots=True)
+        if region is None:
+            region = self.ancestors(targets, include_roots=True)
+        region = set(region)
         region.update(targets)
         WHITE, GRAY, BLACK = 0, 1, 2
-        color: Dict[int, int] = {}
-        parent: Dict[int, int] = {}
+        color: "dict[int, int]" = {}
+        parent: "dict[int, int]" = {}
         for root in region:
-            if color.get(root, WHITE) is not WHITE:
+            if color.get(root, WHITE) != WHITE:
                 continue
-            stack: List[Tuple[int, Iterator[int]]] = [(root, iter(self._succ.get(root, ())))]
+            stack: List[Tuple[int, Iterator[int]]] = [
+                (root, iter(self.successor_set(root)))]
             color[root] = GRAY
             while stack:
                 node, it = stack[-1]
@@ -193,7 +278,7 @@ class ConstraintGraph:
                     if c == WHITE:
                         color[nxt] = GRAY
                         parent[nxt] = node
-                        stack.append((nxt, iter(self._succ.get(nxt, ()))))
+                        stack.append((nxt, iter(self.successor_set(nxt))))
                         advanced = True
                         break
                 if not advanced:
@@ -203,9 +288,10 @@ class ConstraintGraph:
 
     def copy(self) -> "ConstraintGraph":
         clone = ConstraintGraph(self.num_events)
-        for src, dst in self._edges:
-            clone.add_edge(src, dst)
+        clone._succ = [set(s) for s in self._succ]
+        clone._pred = [set(p) for p in self._pred]
+        clone._edge_count = self._edge_count
         return clone
 
     def __repr__(self) -> str:
-        return f"ConstraintGraph({self.num_events} events, {len(self._edges)} edges)"
+        return f"ConstraintGraph({self.num_events} events, {self._edge_count} edges)"

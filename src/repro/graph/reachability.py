@@ -1,0 +1,391 @@
+"""Memoizing reachability engine for the constraint graph.
+
+VindicateRace's offline phase (Algorithm 1) is dominated by reachability
+queries over ``G``: AddConstraints computes the race region
+(``ancestors`` of the racing pair) once per fixpoint round, every
+worklist edge triggers an ``ancestors``/``descendants`` pair plus a batch
+of ``reaches`` checks for candidate LS constraints, and each round ends
+with a cycle search over the race region. A fresh BFS per query makes
+the whole phase O(queries × (V + E)).
+
+:class:`ReachabilityIndex` memoizes *per-node strict reachability
+closures* as bitsets — plain Python ints with bit ``i`` set when event
+``i`` is reachable through at least one edge — so that
+
+* repeated queries between graph mutations are answered from cache, and
+* a cache miss reuses every already-cached closure it reaches: the BFS
+  stops expanding at a node whose closure is known and ORs the whole
+  bitset in (one C-speed big-int operation instead of re-walking the
+  subgraph).
+
+Closures are *strict* (a node appears in its own closure only when it
+lies on a cycle), matching :meth:`ConstraintGraph.descendants` /
+:meth:`~ConstraintGraph.ancestors` semantics exactly, and are keyed by
+``(node, window)`` so the paper's event-window optimisation
+(Section 6.1) gets its own cache entries.
+
+Invalidation is generation-based with selective pruning:
+:class:`ConstraintGraph` bumps :attr:`~ConstraintGraph.generation` on
+every edge add/remove and journals the mutation, and the index catches
+up lazily on the next query, dropping only the closures a mutated edge
+can actually affect — forward closures containing the edge's source,
+backward closures containing its sink (see :meth:`_sync` for the
+soundness argument). Query bursts between AddConstraints' tagged-edge
+insertions therefore keep most of the cache warm, and untagging a
+finished race's edges leaves the untouched remainder of the graph
+cached for the next race. The ``hits`` / ``misses`` /
+``invalidations`` counters are surfaced through the detector stats so
+benchmarks can report cache behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.graph.constraint_graph import ConstraintGraph
+
+#: One cache per window key (None or an (lo, hi) tuple); inside, plain
+#: int node keys — tuple hashing on the per-edge hot path is measurable.
+_Window = Optional[Tuple[int, int]]
+_Cache = Dict[int, int]
+
+#: Shared table of single-bit masks, grown on demand. ``_BITS[i]`` is
+#: ``1 << i`` — indexing reuses the same immutable int instead of
+#: allocating a fresh multi-word big-int per edge visit.
+_BITS = [1]
+
+
+def _bit_table(n: int):
+    bits = _BITS
+    while len(bits) < n:
+        bits.append(1 << len(bits))
+    return bits
+
+
+#: Bit positions set in each byte value, for fast mask expansion.
+_BYTE_BITS = [tuple(i for i in range(8) if b >> i & 1) for b in range(256)]
+
+
+def mask_to_set(mask: int) -> Set[int]:
+    """Expand a bitset into the set of positions of its set bits.
+
+    Walks the mask bytewise with a per-byte position table — much
+    cheaper than repeated ``mask & -mask`` extraction, which pays an
+    O(words) big-int operation (and an allocation) per set bit.
+    """
+    result: Set[int] = set()
+    if not mask:
+        return result
+    base = 0
+    byte_bits = _BYTE_BITS
+    for byte in mask.to_bytes((mask.bit_length() + 7) // 8, "little"):
+        if byte:
+            for offset in byte_bits[byte]:
+                result.add(base + offset)
+        base += 8
+    return result
+
+
+class ReachabilityIndex:
+    """Window-aware memoized reachability over one :class:`ConstraintGraph`.
+
+    The index never mutates the graph; it watches
+    :attr:`ConstraintGraph.generation` and discards every cached closure
+    when the graph changes. One index instance is intended to be shared
+    across all queries of one vindication run (and across races — the
+    cache simply refills after each race's tagged edges are removed).
+    """
+
+    #: When True, a cache miss on an *unwindowed* query runs one SCC
+    #: pass over the whole reachable region and caches every node's
+    #: closure — best when many distinct roots inside one region are
+    #: queried, as AddConstraints' worklist does over a race region.
+    #: Windowed misses always cache only the queried root: windows are
+    #: short-lived (they grow as constraints are added) and their
+    #: regions small, so per-root walks that absorb cached closures win
+    #: there.
+    region_caching = True
+
+    def __init__(self, graph: ConstraintGraph):
+        self.graph = graph
+        self._generation = graph.generation
+        self._journal_pos = graph.journal_position
+        self._fwd: Dict[_Window, _Cache] = {}
+        self._bwd: Dict[_Window, _Cache] = {}
+        #: Materialised query results: (roots, include_roots, window,
+        #: forward) -> set. Returned as copies (callers mutate results).
+        self._results: Dict[Tuple, Set[int]] = {}
+        #: Queries answered from a cached result or closure.
+        self.hits = 0
+        #: Closure computations (Tarjan region passes).
+        self.misses = 0
+        #: Cache invalidations triggered by a graph generation change
+        #: (selective prune for edge adds, full flush for removals).
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Catch up with graph mutations since the last query.
+
+        Both edge insertions and removals invalidate *selectively*: a
+        mutation of edge ``src → dst`` can only change a forward closure
+        whose node is ``src`` or contains ``src`` — no other closure
+        ever traverses that edge, and any cycle the edge creates or
+        breaks consists of nodes that reach ``src`` — and symmetrically
+        a backward closure whose node is/contains ``dst``. Everything
+        else stays cached. This is what makes the index pay off under
+        VindicateRace's churn: AddConstraints' tagged-edge insertions
+        land between query bursts, and untagging a finished race's
+        edges restores the pristine graph without discarding the
+        closures the race never touched, so later races start warm.
+        A full flush happens only when the graph's bounded journal has
+        overflowed since the last query.
+        """
+        graph = self.graph
+        if self._generation == graph.generation:
+            return
+        self._generation = graph.generation
+        entries, self._journal_pos = graph.mutations_since(self._journal_pos)
+        if not (self._fwd or self._bwd or self._results):
+            return
+        self.invalidations += 1
+        if entries is None:
+            self._fwd.clear()
+            self._bwd.clear()
+            self._results.clear()
+            return
+        self._results.clear()
+        bits = _bit_table(self.graph.num_events)
+        src_mask = 0
+        dst_mask = 0
+        srcs = set()
+        dsts = set()
+        for _, src, dst in entries:
+            src_mask |= bits[src]
+            dst_mask |= bits[dst]
+            srcs.add(src)
+            dsts.add(dst)
+        self._prune(self._fwd, src_mask, srcs)
+        self._prune(self._bwd, dst_mask, dsts)
+
+    @staticmethod
+    def _prune(caches: Dict[_Window, _Cache], mask: int,
+               nodes: Set[int]) -> None:
+        """Drop every closure whose node is in ``nodes`` or whose bitset
+        intersects ``mask``; surviving entries are unaffected by the
+        edges the mask stands for, so they remain exact."""
+        for cache in caches.values():
+            dead = [node for node, closure in cache.items()
+                    if closure & mask or node in nodes]
+            for node in dead:
+                del cache[node]
+
+    # ------------------------------------------------------------------
+    # Core closure computation
+    # ------------------------------------------------------------------
+    def _closure(self, node: int, forward: bool,
+                 window: Optional[Tuple[int, int]]) -> int:
+        """The strict reachability closure of ``node`` as a bitset.
+
+        Matches :meth:`ConstraintGraph._bfs` seeded with one root: the
+        root expands regardless of the window, discovered nodes are
+        filtered by it, and the root's own bit is set only when an edge
+        inside the window leads back to it.
+
+        A miss walks the window-restricted region, *absorbing* every
+        already-cached closure it meets: when the walk discovers a node
+        whose closure is cached, that whole bitset is ORed in (one
+        C-speed big-int operation) and the subtree is never expanded.
+        Absorption is exact — a cached closure of ``w`` covers every
+        in-window node reachable from anything it contains, including
+        cycle members — so overlapping queries share work without the
+        index ever paying for closures nobody asks about.
+        """
+        caches = self._fwd if forward else self._bwd
+        cache = caches.get(window)
+        if cache is None:
+            cache = caches[window] = {}
+        cached = cache.get(node)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        adj = (self.graph.successor_set if forward
+               else self.graph.predecessor_set)
+        if window is not None:
+            lo, hi = window
+        else:
+            # Node ids are always < num_events, so a full-range window
+            # is equivalent to no window — one code path, no branch.
+            lo, hi = 0, self.graph.num_events
+        bits = _bit_table(self.graph.num_events)
+
+        if self.region_caching and window is None:
+            return self._closure_region(node, adj, cache, lo, hi, bits)
+        closure = 0
+        stack = [node]
+        cache_get = cache.get
+        while stack:
+            for w in adj(stack.pop()):
+                if w < lo or w > hi:
+                    continue
+                bit = bits[w]
+                if closure & bit:
+                    # Already discovered (or covered by an absorbed
+                    # closure, which also covers everything below it).
+                    continue
+                sub = cache_get(w)
+                if sub is not None:
+                    closure |= bit | sub
+                else:
+                    closure |= bit
+                    stack.append(w)
+        cache[node] = closure
+        return closure
+
+    def _closure_region(self, node: int, adj, cache: _Cache,
+                        lo: int, hi: int, bits) -> int:
+        """Whole-region variant of the closure miss path: one iterative
+        Tarjan SCC pass over the window-restricted region reachable from
+        ``node`` computes and caches the closure of *every* region node,
+        in reverse topological order of the condensation — each closure
+        is the OR of its out-neighbours' already-final closures. Later
+        queries rooted anywhere in the region are O(1) lookups, which is
+        the dominant access pattern of AddConstraints' worklist (many
+        distinct roots inside one race region)."""
+        index: Dict[int, int] = {node: 0}
+        low: Dict[int, int] = {node: 0}
+        counter = 1
+        on_stack = {node}
+        scc_stack = [node]
+        call_stack = [(node, iter(adj(node)))]
+        while call_stack:
+            v, it = call_stack[-1]
+            advanced = False
+            for w in it:
+                if w < lo or w > hi:
+                    continue
+                if w not in index:
+                    if w in cache:
+                        # Already closed in an earlier pass; its closure
+                        # is final and cannot share a cycle with v (or
+                        # it would have been on v's stack back then).
+                        continue
+                    index[w] = low[w] = counter
+                    counter += 1
+                    on_stack.add(w)
+                    scc_stack.append(w)
+                    call_stack.append((w, iter(adj(w))))
+                    advanced = True
+                    break
+                if w in on_stack and index[w] < low[v]:
+                    low[v] = index[w]
+            if advanced:
+                continue
+            call_stack.pop()
+            if call_stack:
+                parent = call_stack[-1][0]
+                if low[v] < low[parent]:
+                    low[parent] = low[v]
+            if low[v] == index[v]:
+                # ``v`` roots an SCC: pop it and finalise its closure.
+                members = []
+                while True:
+                    w = scc_stack.pop()
+                    on_stack.discard(w)
+                    members.append(w)
+                    if w == v:
+                        break
+                scc_mask = 0
+                if len(members) > 1:
+                    # Every member lies on a cycle: strict closures
+                    # include the whole component.
+                    for m in members:
+                        scc_mask |= bits[m]
+                member_set = set(members)
+                closure = scc_mask
+                for m in members:
+                    for w in adj(m):
+                        if w in member_set or w < lo or w > hi:
+                            continue
+                        # Cross-SCC edges point at finished components.
+                        closure |= bits[w] | cache[w]
+                for m in members:
+                    cache[m] = closure
+        return cache[node]
+
+    def _union(self, roots: Iterable[int], forward: bool,
+               window: Optional[Tuple[int, int]]) -> int:
+        mask = 0
+        for root in roots:
+            mask |= self._closure(root, forward, window)
+        return mask
+
+    # ------------------------------------------------------------------
+    # Query API (mirrors ConstraintGraph's)
+    # ------------------------------------------------------------------
+    def _query(self, roots: Iterable[int], forward: bool,
+               include_roots: bool,
+               within: Optional[Tuple[int, int]]) -> Set[int]:
+        self._sync()
+        roots = tuple(roots)
+        key = (roots, include_roots, within, forward)
+        cached = self._results.get(key)
+        if cached is not None:
+            self.hits += 1
+            # Callers own (and mutate) the returned set.
+            return cached.copy()
+        result = mask_to_set(self._union(roots, forward, within))
+        if include_roots:
+            result.update(roots)
+        self._results[key] = result
+        return result.copy()
+
+    def descendants(self, roots: Iterable[int],
+                    include_roots: bool = False,
+                    within: Optional[Tuple[int, int]] = None) -> Set[int]:
+        """All nodes reachable from ``roots`` forward; see
+        :meth:`ConstraintGraph.descendants`."""
+        return self._query(roots, True, include_roots, within)
+
+    def ancestors(self, roots: Iterable[int],
+                  include_roots: bool = False,
+                  within: Optional[Tuple[int, int]] = None) -> Set[int]:
+        """All nodes from which some root is reachable; see
+        :meth:`ConstraintGraph.ancestors`."""
+        return self._query(roots, False, include_roots, within)
+
+    def descendants_mask(self, roots: Iterable[int],
+                         within: Optional[Tuple[int, int]] = None) -> int:
+        """Strict forward closure of ``roots`` as a raw bitset (no set
+        materialisation — for membership-test-only callers)."""
+        self._sync()
+        return self._union(roots, True, within)
+
+    def ancestors_mask(self, roots: Iterable[int],
+                       within: Optional[Tuple[int, int]] = None) -> int:
+        """Strict backward closure of ``roots`` as a raw bitset."""
+        self._sync()
+        return self._union(roots, False, within)
+
+    def reaches(self, src: int, dst: int) -> bool:
+        """``src ⇝_G dst``: strict reachability (at least one edge).
+
+        ``reaches(x, x)`` is True exactly when ``x`` lies on a cycle,
+        because the strict closure contains its own root only then.
+        """
+        self._sync()
+        return bool(self._closure(src, True, None) & (1 << dst))
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Cache counters, suitable for ``Detector.bump`` accumulation."""
+        return {
+            "reach_hits": self.hits,
+            "reach_misses": self.misses,
+            "reach_invalidations": self.invalidations,
+        }

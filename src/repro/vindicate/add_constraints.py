@@ -27,12 +27,15 @@ implied through program order.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.events import Event, EventKind, Target, Tid
 from repro.core.trace import Trace
 from repro.graph.constraint_graph import ConstraintGraph
+from repro.graph.reachability import (ReachabilityIndex, _bit_table,
+                                      mask_to_set)
 
 
 @dataclass
@@ -64,7 +67,8 @@ class ConstraintResult:
 
 def add_constraints(graph: ConstraintGraph, trace: Trace,
                     e1: Event, e2: Event,
-                    use_window: bool = False) -> ConstraintResult:
+                    use_window: bool = False,
+                    index: Optional[ReachabilityIndex] = None) -> ConstraintResult:
     """Run ADDCONSTRAINTS for the DC-race ``(e1, e2)``, mutating ``graph``.
 
     The caller is responsible for removing ``result.added_edges`` once
@@ -81,7 +85,12 @@ def add_constraints(graph: ConstraintGraph, trace: Trace,
             cycle involves critical sections outside the window (see
             ``litmus.wcp_deadlock``). On the workload corpora verdicts
             are unchanged (window ablation benchmark).
+        index: Reachability engine over ``graph`` to answer the
+            ancestor/descendant/reaches queries (one is created when not
+            supplied; callers vindicating many races should share one).
     """
+    if index is None:
+        index = ReachabilityIndex(graph)
     result = ConstraintResult()
     worklist: List[Tuple[int, int]] = []
     window = [min(e1.eid, e2.eid), max(e1.eid, e2.eid)] if use_window else None
@@ -106,29 +115,60 @@ def add_constraints(graph: ConstraintGraph, trace: Trace,
             result.consecutive_edges += 1
 
     # --- LS constraint fixpoint (lines 14–22) ---------------------------
+    sync_masks = _sync_event_masks(trace)
     changed = True
     while changed:
         changed = False
         result.rounds += 1
         bounds = tuple(window) if window is not None else None
-        race_region = graph.ancestors([e1.eid, e2.eid], include_roots=True,
+        race_region = index.ancestors([e1.eid, e2.eid], include_roots=True,
                                       within=bounds)
         for src, snk in list(worklist):
             for edge in _ls_edges_for(graph, trace, src, snk, race_region,
-                                      bounds):
+                                      bounds, index, sync_masks):
                 if add(*edge):
                     result.ls_edges += 1
                     changed = True
-        cycle = graph.find_cycle_reaching({e1.eid, e2.eid})
+        cycle = graph.find_cycle_reaching(
+            {e1.eid, e2.eid},
+            region=index.ancestors([e1.eid, e2.eid], include_roots=True))
         if cycle is not None:
             result.cycle = cycle
             return result
     return result
 
 
+#: Per-trace memo for :func:`_sync_event_masks` — traces are immutable
+#: and vindicated many times (once per race), so the O(n) scan is paid
+#: once. Weak keys keep finished traces collectable.
+_sync_masks_cache: "weakref.WeakKeyDictionary[Trace, Tuple[int, int]]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _sync_event_masks(trace: Trace) -> Tuple[int, int]:
+    """Bitsets of the trace's acquire and release event ids, so the LS
+    pair search can intersect reachability masks against them instead of
+    scanning whole ancestor/descendant sets event by event."""
+    masks = _sync_masks_cache.get(trace)
+    if masks is None:
+        bits = _bit_table(len(trace))
+        acq = 0
+        rel = 0
+        for e in trace:
+            if e.kind is EventKind.ACQUIRE:
+                acq |= bits[e.eid]
+            elif e.kind is EventKind.RELEASE:
+                rel |= bits[e.eid]
+        masks = (acq, rel)
+        _sync_masks_cache[trace] = masks
+    return masks
+
+
 def _ls_edges_for(graph: ConstraintGraph, trace: Trace, src: int, snk: int,
                   race_region: Set[int],
-                  bounds=None) -> List[Tuple[int, int]]:
+                  bounds=None,
+                  index: Optional[ReachabilityIndex] = None,
+                  sync_masks: Optional[Tuple[int, int]] = None) -> List[Tuple[int, int]]:
     """LS edges implied by the constraint edge ``(src, snk)``.
 
     An acquire ``a`` with ``a ⇝ src`` and a release ``r`` with
@@ -136,29 +176,36 @@ def _ls_edges_for(graph: ConstraintGraph, trace: Trace, src: int, snk: int,
     if ``r``'s critical section is needed before the race
     (``A(r) ⇝ e1 ∨ A(r) ⇝ e2``), the full ordering ``R(a) → A(r)`` is a
     necessary constraint.
+
+    The candidate search runs in mask space: only the (usually tiny)
+    intersection of the reachability closures with the trace's
+    acquire/release bitsets is ever materialised.
     """
-    ancestors = graph.ancestors([src], include_roots=True, within=bounds)
-    descendants = graph.descendants([snk], include_roots=True, within=bounds)
+    if index is None:
+        index = ReachabilityIndex(graph)
+    if sync_masks is None:
+        sync_masks = _sync_event_masks(trace)
+    acq_events, rel_events = sync_masks
+    anc_mask = index.ancestors_mask([src], within=bounds) | (1 << src)
+    desc_mask = index.descendants_mask([snk], within=bounds) | (1 << snk)
     events = trace.events
 
     # Program-order pruning: keep only the latest candidate acquire and
     # the earliest candidate release per (thread, lock).
     latest_acq: Dict[Tuple[Tid, Target], Event] = {}
-    for eid in ancestors:
+    for eid in mask_to_set(anc_mask & acq_events):
         e = events[eid]
-        if e.kind is EventKind.ACQUIRE:
-            key = (e.tid, e.target)
-            best = latest_acq.get(key)
-            if best is None or e.eid > best.eid:
-                latest_acq[key] = e
+        key = (e.tid, e.target)
+        best = latest_acq.get(key)
+        if best is None or e.eid > best.eid:
+            latest_acq[key] = e
     earliest_rel: Dict[Tuple[Tid, Target], Event] = {}
-    for eid in descendants:
+    for eid in mask_to_set(desc_mask & rel_events):
         e = events[eid]
-        if e.kind is EventKind.RELEASE:
-            key = (e.tid, e.target)
-            best = earliest_rel.get(key)
-            if best is None or e.eid < best.eid:
-                earliest_rel[key] = e
+        key = (e.tid, e.target)
+        best = earliest_rel.get(key)
+        if best is None or e.eid < best.eid:
+            earliest_rel[key] = e
 
     edges: List[Tuple[int, int]] = []
     for (_, lock_a), a in latest_acq.items():
@@ -175,7 +222,7 @@ def _ls_edges_for(graph: ConstraintGraph, trace: Trace, src: int, snk: int,
                 continue  # r's critical section is not needed for the race
             if graph.has_edge(release_of_a.eid, acquire_of_r.eid):
                 continue
-            if graph.reaches(release_of_a.eid, acquire_of_r.eid):
+            if index.reaches(release_of_a.eid, acquire_of_r.eid):
                 continue  # already fully ordered
             edges.append((release_of_a.eid, acquire_of_r.eid))
     return edges

@@ -33,6 +33,7 @@ from repro.core.events import Event, Target
 from repro.core.exceptions import VindicationError
 from repro.core.trace import Trace
 from repro.graph.constraint_graph import ConstraintGraph
+from repro.graph.reachability import ReachabilityIndex
 
 #: Greedy tie-break policies for ATTEMPTTOCONSTRUCTTRACE.
 POLICIES = ("latest", "earliest", "random")
@@ -66,15 +67,19 @@ def construct_reordered_trace(
     e2: Event,
     policy: str = "latest",
     seed: int = 0,
+    index: Optional[ReachabilityIndex] = None,
 ) -> Tuple[Optional[List[Event]], ConstructionStats]:
     """Try to build a correctly reordered trace with ``e1, e2`` at the
     end, consecutive. Returns ``(witness, stats)`` with ``witness`` None
     on failure (the algorithm is greedy and incomplete, so failure does
-    not refute the race)."""
+    not refute the race). ``index`` optionally supplies a shared
+    reachability engine for the ancestor queries."""
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    if index is None:
+        index = ReachabilityIndex(graph)
     rng = random.Random(seed)
-    needed: Set[int] = graph.ancestors([e1.eid, e2.eid])
+    needed: Set[int] = index.ancestors([e1.eid, e2.eid])
     needed.discard(e1.eid)
     needed.discard(e2.eid)
     stats = ConstructionStats()
@@ -86,7 +91,7 @@ def construct_reordered_trace(
             release = outcome.release
             stats.extra_releases += 1
             needed.add(release.eid)
-            needed.update(graph.ancestors([release.eid]))
+            needed.update(index.ancestors([release.eid]))
             needed.discard(e1.eid)
             needed.discard(e2.eid)
             continue
@@ -124,7 +129,7 @@ def _attempt(
     blocking: Dict[int, int] = {}
     ready: Set[int] = set()
     for eid in remaining:
-        count = sum(1 for succ in graph.successors(eid) if succ in remaining)
+        count = sum(1 for succ in graph.successor_set(eid) if succ in remaining)
         blocking[eid] = count
         if count == 0:
             ready.add(eid)
@@ -145,7 +150,7 @@ def _attempt(
             placed.add(chosen.eid)
             remaining.discard(chosen.eid)
             ready.discard(chosen.eid)
-            for pred in graph.predecessors(chosen.eid):
+            for pred in graph.predecessor_set(chosen.eid):
                 if pred in remaining:
                     blocking[pred] -= 1
                     if blocking[pred] == 0:

@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.core.exceptions import MalformedTraceError
 from repro.core.trace import TraceBuilder
 from repro.analysis.dc import DCDetector
+from repro.analysis.fasttrack import FastTrackDetector
 from repro.analysis.hb import HBDetector
 from repro.analysis.wcp import WCPDetector
 from repro.traces.litmus import figure1, figure2
@@ -180,6 +182,76 @@ class TestConstraintGraph:
                  .build())
         report = DCDetector().analyze(trace)
         assert report.counters.get("graph_edges", 0) >= 1
+
+
+class TestMalformedStreams:
+    """Regression: a malformed event stream must raise MalformedTraceError,
+    not leak internal KeyError/AssertionError (streaming callers bypass
+    Trace's construction-time validation)."""
+
+    def test_release_without_acquire(self):
+        trace = TraceBuilder().acq(1, "m").rel(1, "m").build()
+        det = DCDetector()
+        det.begin_trace(trace)
+        # Feed the release without its acquire.
+        with pytest.raises(MalformedTraceError) as exc:
+            det.handle(trace.events[1])
+        assert exc.value.event_index == 1
+
+    def test_release_by_wrong_thread(self):
+        trace = (TraceBuilder()
+                 .acq(1, "m").rel(1, "m")
+                 .acq(2, "m").rel(2, "m")
+                 .build())
+        det = DCDetector()
+        det.begin_trace(trace)
+        det.handle(trace.events[0])  # t1 acquires m ...
+        with pytest.raises(MalformedTraceError):
+            det.handle(trace.events[3])  # ... but t2 releases it
+
+    def test_well_formed_stream_unaffected(self):
+        trace = (TraceBuilder()
+                 .acq(1, "m").wr(1, "x").rel(1, "m")
+                 .acq(2, "m").rd(2, "x").rel(2, "m")
+                 .build())
+        assert DCDetector().analyze(trace).races == []
+
+
+class TestChildlessForkJoin:
+    """Regression: joining a child that never executed an event must still
+    consume the pending fork — joining the parent's clock at the fork and
+    adding the fork→join edge — instead of silently dropping both."""
+
+    #: wr(x) by parent; fork of a child with no events; a third thread
+    #: joins the child and reads x. The fork→join ordering makes the
+    #: read race-free.
+    def _trace(self):
+        return (TraceBuilder()
+                .wr(1, "x").fork(1, 2)
+                .join(3, 2).rd(3, "x")
+                .build())
+
+    @pytest.mark.parametrize("detector_cls", [
+        DCDetector, HBDetector, WCPDetector, FastTrackDetector,
+    ], ids=lambda c: c.__name__)
+    def test_no_race_through_childless_join(self, detector_cls):
+        report = detector_cls().analyze(self._trace())
+        assert report.races == []
+
+    def test_fork_join_edge_added_to_graph(self):
+        det = DCDetector()
+        det.analyze(self._trace())
+        assert det.graph.has_edge(1, 2)  # fork(1,2) -> join(3,2)
+
+    def test_pending_fork_consumed(self):
+        det = DCDetector()
+        det.analyze(self._trace())
+        assert det._pending_fork == {}
+
+    def test_join_of_unforked_silent_thread_is_noop(self):
+        trace = TraceBuilder().wr(1, "x").join(1, 9).build()
+        report = DCDetector().analyze(trace)
+        assert report.races == []
 
 
 class TestTransitiveForceKnob:

@@ -1,0 +1,119 @@
+"""In-repo lint gate: ban identity comparisons on value types.
+
+Regression guard for the ``find_cycle_reaching`` colour bug, where
+``color.get(root, WHITE) is not WHITE`` compared int values by identity
+and only worked because CPython caches small ints. This test enforces
+the ruff ``F632``/``E721`` class of rules without external dependencies,
+so the guarantee holds even where ruff is not installed (CI additionally
+runs ``ruff check``, which enforces the same rules — see pyproject's
+``[tool.ruff.lint]`` and ``.github/workflows/ci.yml``).
+
+Flagged patterns, for every file under ``src/`` and ``tests/``:
+
+* ``x is <literal>`` / ``x is not <literal>`` where the literal is an
+  int, float, str, bytes, or tuple constant (F632-equivalent);
+* ``x is NAME`` / ``x is not NAME`` where NAME resolves, within the same
+  module, to a module- or function-level int/float/str constant binding
+  (the exact shape of the colour bug: ``WHITE, GRAY, BLACK = 0, 1, 2``);
+* ``type(x) == type(y)`` comparisons (E721-equivalent).
+
+``None`` / ``True`` / ``False`` / enum members and sentinel objects are
+untouched: identity is the correct comparison for singletons.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+LINT_DIRS = ("src", "tests", "benchmarks", "examples")
+
+#: Constant types for which identity comparison is a bug.
+_VALUE_TYPES = (int, float, str, bytes, tuple)
+
+
+def _python_files():
+    for dirname in LINT_DIRS:
+        root = REPO_ROOT / dirname
+        if root.is_dir():
+            yield from sorted(root.rglob("*.py"))
+
+
+def _constant_value_bindings(tree: ast.Module):
+    """Names bound (anywhere in the module) to int/float/str constants,
+    excluding bool — e.g. ``WHITE, GRAY, BLACK = 0, 1, 2``."""
+    bindings = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = []
+        values = []
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                targets, values = [target], [node.value]
+            elif isinstance(target, (ast.Tuple, ast.List)) and \
+                    isinstance(node.value, (ast.Tuple, ast.List)) and \
+                    len(target.elts) == len(node.value.elts):
+                targets, values = target.elts, node.value.elts
+        for tgt, val in zip(targets, values):
+            if (isinstance(tgt, ast.Name) and isinstance(val, ast.Constant)
+                    and not isinstance(val.value, bool)
+                    and isinstance(val.value, (int, float, str))):
+                bindings.add(tgt.id)
+    return bindings
+
+
+def _is_value_literal(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Constant)
+            and not isinstance(node.value, bool)
+            and node.value is not None
+            and isinstance(node.value, _VALUE_TYPES))
+
+
+def _is_type_call(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "type"
+            and len(node.args) == 1)
+
+
+def _violations(path: pathlib.Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    const_names = _constant_value_bindings(tree)
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Is, ast.IsNot)):
+                for side in (left, right):
+                    if _is_value_literal(side):
+                        found.append(
+                            (node.lineno,
+                             "F632-class: `is` comparison with a "
+                             f"{type(side.value).__name__} literal"))
+                        break
+                    if isinstance(side, ast.Name) and side.id in const_names:
+                        found.append(
+                            (node.lineno,
+                             f"F632-class: `is` comparison with {side.id!r}, "
+                             "a module constant of value type — use ==/!="))
+                        break
+            elif isinstance(op, (ast.Eq, ast.NotEq)):
+                if _is_type_call(left) and _is_type_call(right):
+                    found.append(
+                        (node.lineno,
+                         "E721-class: compare types with `is` or "
+                         "isinstance(), not =="))
+    return found
+
+
+@pytest.mark.parametrize(
+    "path", list(_python_files()),
+    ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_no_identity_comparison_on_value_types(path):
+    violations = _violations(path)
+    assert not violations, "\n".join(
+        f"{path}:{line}: {msg}" for line, msg in violations)
