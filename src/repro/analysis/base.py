@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Collection, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.events import Event, EventKind, Target, Tid
 from repro.core.trace import Trace
@@ -49,15 +49,31 @@ class Detector(abc.ABC):
     Subclasses set :attr:`relation` and implement the event hooks that
     define the relation's clock updates. The base class provides event
     dispatch, the access history, the race check, and race recording.
+
+    Args:
+        prefilter: When given, the set of *race-candidate* variables
+            from the lockset pre-analysis
+            (:func:`repro.static.lockset.analyze_locksets`); the race
+            check and access-history bookkeeping are skipped for every
+            other variable. The verdicts over-approximate race
+            candidates, so the filter cannot change which races are
+            reported — it only removes provably fruitless work. Clock
+            updates (including rule (a) critical-section recording)
+            always run: they define the relation for *other* variables.
     """
 
     #: Relation name, e.g. ``"HB"``; set by subclasses.
     relation: str = "?"
 
-    def __init__(self):
+    def __init__(self, prefilter: Optional[Collection[Target]] = None):
         self.trace: Optional[Trace] = None
         self.report: Optional[RaceReport] = None
         self._history: Dict[Target, AccessHistory] = {}
+        #: Race-candidate variables, or None to race-check every access.
+        self.prefilter: Optional[FrozenSet[Target]] = (
+            None if prefilter is None else frozenset(prefilter))
+        self._filter_skips = 0
+        self._filter_checks = 0
         #: After reporting a race, force the pair's ordering (Section 6.1).
         #: The differential tests disable this to compare the detector's
         #: clocks against the pure relation computed by the reference
@@ -94,10 +110,15 @@ class Detector(abc.ABC):
         self.report = RaceReport(relation=self.relation)
         self._history = {}
         self.racing_at = {}
+        self._filter_skips = 0
+        self._filter_checks = 0
 
     def finish(self) -> RaceReport:
         """Return the report for the trace processed so far."""
         assert self.report is not None, "begin_trace was never called"
+        if self.prefilter is not None:
+            self.report.counters["lockset_skipped"] = self._filter_skips
+            self.report.counters["lockset_checked"] = self._filter_checks
         return self.report
 
     def handle(self, event: Event) -> None:
@@ -182,7 +203,17 @@ class Detector(abc.ABC):
         unordered and therefore racing. After reporting, all racing priors
         are force-ordered into ``clock`` so subsequent races are
         independent (Section 6.1, "Handling DC-races").
+
+        With a :attr:`prefilter` installed, accesses to variables that
+        provably cannot race skip the check (and its clock snapshot)
+        entirely. No force-ordering is lost: forcing only follows a
+        race, and filtered variables have none.
         """
+        if self.prefilter is not None:
+            if e.target not in self.prefilter:
+                self._filter_skips += 1
+                return None
+            self._filter_checks += 1
         assert self.trace is not None
         history = self._history.setdefault(e.target, AccessHistory())
         racing: List[Tuple[Event, VectorClock]] = []

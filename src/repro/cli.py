@@ -5,15 +5,25 @@ Sub-commands:
 * ``analyze <trace-file>`` — run HB, WCP, and DC analyses plus
   vindication on a text-format trace (see :mod:`repro.traces.io`) and
   print the race report;
+* ``lint <trace-file>`` — run the collecting trace linter
+  (:mod:`repro.static.lint`) and print every finding with its stable
+  rule code; accepts traces too malformed to analyze;
 * ``litmus [name]`` — run the paper's litmus executions (all, or one by
   name) and show what each analysis finds;
 * ``workload <name>`` — execute a DaCapo-analog workload and analyze its
   trace.
 
+``analyze``, ``litmus``, and ``workload`` accept ``--prefilter`` (skip
+vector-clock race checks on variables the lockset pre-analysis proves
+race-free) and ``--sanitize`` (cross-check every detector's races
+against that pre-analysis; exit 1 on a violation).
+
 Examples::
 
     vindicator litmus figure2
     vindicator analyze mytrace.txt --vindicate-all --witness
+    vindicator analyze mytrace.txt --prefilter --sanitize
+    vindicator lint mytrace.txt
     vindicator workload xalan --seed 3 --scale 0.5
 """
 
@@ -24,9 +34,11 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.races import RaceClass
+from repro.core.exceptions import SanitizerError
+from repro.static.lint import Severity, lint_events
 from repro.stats.distances import static_distance_ranges
 from repro.traces.render import render_witness
-from repro.traces.io import load_trace
+from repro.traces.io import load_events, load_trace
 from repro.traces.litmus import ALL as LITMUS
 from repro.vindicate.vindicator import Vindicator, VindicatorReport
 
@@ -34,8 +46,17 @@ from repro.vindicate.vindicator import Vindicator, VindicatorReport
 def _print_report(report: VindicatorReport, show_witness: bool) -> None:
     print(f"trace: {len(report.trace)} events, "
           f"{len(report.trace.threads)} threads")
+    if report.lockset is not None:
+        print(f"  lockset pre-analysis: {report.lockset.summary()}")
     for analysis in (report.hb, report.wcp, report.dc):
         print(f"  {analysis}")
+        skipped = analysis.counters.get("lockset_skipped")
+        if skipped is not None:
+            checked = analysis.counters.get("lockset_checked", 0)
+            total = skipped + checked
+            rate = skipped / total if total else 0.0
+            print(f"    pre-filter: skipped {skipped} of {total} "
+                  f"access checks ({rate:.0%})")
     by_class = report.dc.by_class()
     for race_class in RaceClass:
         races = by_class.get(race_class, [])
@@ -61,13 +82,40 @@ def _print_report(report: VindicatorReport, show_witness: bool) -> None:
             print(f"  {locs}: {rng}")
 
 
+def _run_and_print(vindicator: Vindicator, trace, show_witness: bool) -> int:
+    try:
+        report = vindicator.run(trace)
+    except SanitizerError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    _print_report(report, show_witness=show_witness)
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace)
     vindicator = Vindicator(vindicate_all=args.vindicate_all,
-                            policy=args.policy)
-    report = vindicator.run(trace)
-    _print_report(report, show_witness=args.witness)
-    return 0
+                            policy=args.policy,
+                            prefilter=args.prefilter,
+                            sanitize=args.sanitize)
+    return _run_and_print(vindicator, trace, args.witness)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    events, line_numbers = load_events(args.trace)
+    diagnostics = lint_events(events)
+    for diag in diagnostics:
+        line = (line_numbers[diag.event_index]
+                if 0 <= diag.event_index < len(line_numbers) else None)
+        print(f"{args.trace}:{diag.format(line)}")
+    by_severity = {severity: 0 for severity in Severity}
+    for diag in diagnostics:
+        by_severity[diag.severity] += 1
+    print(f"{len(events)} events: "
+          f"{by_severity[Severity.ERROR]} error(s), "
+          f"{by_severity[Severity.WARNING]} warning(s), "
+          f"{by_severity[Severity.NOTE]} note(s)")
+    return 1 if by_severity[Severity.ERROR] else 0
 
 
 def _cmd_litmus(args: argparse.Namespace) -> int:
@@ -80,8 +128,12 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
             return 2
         print(f"=== {name} ===")
         vindicator = Vindicator(vindicate_all=True,
-                                transitive_force=not name.startswith("figure4"))
-        _print_report(vindicator.run(factory()), show_witness=args.witness)
+                                transitive_force=not name.startswith("figure4"),
+                                prefilter=args.prefilter,
+                                sanitize=args.sanitize)
+        status = _run_and_print(vindicator, factory(), args.witness)
+        if status:
+            return status
         print()
     return 0
 
@@ -100,9 +152,10 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         trace, stats = fast_path_filter(trace)
         print(f"fast path removed {stats.removed} of {stats.original_events} "
               f"events ({stats.hit_rate:.0%})")
-    report = Vindicator(vindicate_all=args.vindicate_all).run(trace)
-    _print_report(report, show_witness=args.witness)
-    return 0
+    vindicator = Vindicator(vindicate_all=args.vindicate_all,
+                            prefilter=args.prefilter,
+                            sanitize=args.sanitize)
+    return _run_and_print(vindicator, trace, args.witness)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "PLDI 2018 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_static_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--prefilter", action="store_true",
+                         help="skip race checks on variables the lockset "
+                              "pre-analysis proves race-free (same verdicts, "
+                              "less work)")
+        cmd.add_argument("--sanitize", action="store_true",
+                         help="cross-check detector races against the lockset "
+                              "pre-analysis; exit 1 on violation")
+
     analyze = sub.add_parser("analyze", help="analyze a text-format trace file")
     analyze.add_argument("trace", help="path to the trace file")
     analyze.add_argument("--vindicate-all", action="store_true",
@@ -121,12 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
                          default="latest", help="greedy construction policy")
     analyze.add_argument("--witness", action="store_true",
                          help="print witness traces for confirmed races")
+    add_static_flags(analyze)
     analyze.set_defaults(func=_cmd_analyze)
+
+    lint = sub.add_parser(
+        "lint", help="lint a text-format trace file (collects all findings; "
+                     "exit 1 if any error-severity rule fires)")
+    lint.add_argument("trace", help="path to the trace file")
+    lint.set_defaults(func=_cmd_lint)
 
     litmus = sub.add_parser("litmus", help="run the paper's litmus executions")
     litmus.add_argument("name", nargs="?", help="litmus trace name "
                         f"({', '.join(LITMUS)})")
     litmus.add_argument("--witness", action="store_true")
+    add_static_flags(litmus)
     litmus.set_defaults(func=_cmd_litmus)
 
     workload = sub.add_parser("workload", help="run a DaCapo-analog workload")
@@ -137,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="apply the redundant-access fast path")
     workload.add_argument("--vindicate-all", action="store_true")
     workload.add_argument("--witness", action="store_true")
+    add_static_flags(workload)
     workload.set_defaults(func=_cmd_workload)
     return parser
 

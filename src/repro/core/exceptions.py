@@ -54,3 +54,21 @@ class TraceFormatError(ReproError):
             message = f"line {line_number}: {message}"
         super().__init__(message)
         self.line_number = line_number
+
+
+class SanitizerError(ReproError):
+    """The lockset cross-check failed: a detector reported a race on a
+    variable the set-based pre-analysis proves race-free.
+
+    The pre-analysis verdicts (:mod:`repro.static.lockset`)
+    over-approximate race candidates, so this can only mean a detector
+    or the pre-analysis itself regressed; the offending races are in
+    :attr:`violations`.
+    """
+
+    def __init__(self, violations: "list[str]"):
+        super().__init__(
+            "lockset sanitizer: {} race(s) on provably race-free "
+            "variables:\n  {}".format(len(violations),
+                                      "\n  ".join(violations)))
+        self.violations = violations

@@ -261,7 +261,7 @@ class TraceBuilder:
     Every op method returns ``self``. Events are numbered in call order.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._events: List[Event] = []
 
     def _add(self, tid: Tid, kind: EventKind, target: Optional[Target],
@@ -314,6 +314,12 @@ class TraceBuilder:
         ``acq(o); rd(oVar); wr(oVar); rel(o)``."""
         var = f"{lock}Var"
         return (self.acq(tid, lock).rd(tid, var).wr(tid, var).rel(tid, lock))
+
+    def events(self) -> List[Event]:
+        """The raw events built so far, without constructing a
+        :class:`Trace` — even ``validate=False`` construction refuses
+        unmatched releases, but the linter must accept them."""
+        return list(self._events)
 
     def build(self, validate: bool = True) -> Trace:
         """Finish and validate the trace."""

@@ -1,0 +1,44 @@
+"""Static analyses over traces-as-artifacts.
+
+Unlike :mod:`repro.analysis` (online detectors that compute ordering
+relations event by event), this package treats a recorded trace as a
+*static artifact* and analyses its structure in single linear passes:
+
+* :mod:`repro.static.lint` — a collecting trace linter with stable rule
+  codes (``SA1xx``), complementing ``Trace``'s fail-fast validation;
+  exposed as ``vindicator lint``;
+* :mod:`repro.static.lockset` — Eraser-style lockset + thread-locality
+  verdicts per variable. The verdicts are sound exclusions for
+  *predictive* race detection, so they serve double duty as the
+  detectors' fast-path pre-filter and as an independent
+  over-approximation the detectors are cross-checked against
+  (``--sanitize``, :func:`~repro.static.lockset.cross_check`).
+"""
+
+from repro.static.lint import (
+    RULES,
+    Diagnostic,
+    Severity,
+    lint_events,
+    max_severity,
+)
+from repro.static.lockset import (
+    LocksetResult,
+    VariableInfo,
+    VariableVerdict,
+    analyze_locksets,
+    cross_check,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LocksetResult",
+    "RULES",
+    "Severity",
+    "VariableInfo",
+    "VariableVerdict",
+    "analyze_locksets",
+    "cross_check",
+    "lint_events",
+    "max_severity",
+]

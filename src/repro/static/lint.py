@@ -1,0 +1,296 @@
+"""Trace linter: single-pass collecting diagnostics over an event list.
+
+:class:`~repro.core.trace.Trace` validation is *fail-fast*: the first
+structural violation raises :class:`~repro.core.exceptions.MalformedTraceError`
+and nothing else is examined. That is the right contract for the
+analyses (they may assume well-formedness) but the wrong one for a user
+staring at a trace file logged by some other tool: they want *every*
+problem, each with a stable rule code, a severity, and the offending
+event's position — like a compiler, not like an assertion.
+
+:func:`lint_events` is that linter. It makes one pass over the events
+(plus O(locks + threads) finalisation), never raises on malformed input,
+and returns :class:`Diagnostic` records sorted by event position. Rule
+codes are stable and documented in :data:`RULES` (see also
+``docs/ALGORITHMS.md``); the CLI exposes the linter as
+``vindicator lint <trace>``.
+
+Severities:
+
+* **error** — the trace violates the paper's event model (Section 2.1);
+  the analyses would reject or mis-analyse it;
+* **warning** — legal for the analyses but almost certainly a logging
+  or instrumentation bug (e.g. a lock still held at thread end);
+* **note** — benign but worth knowing (e.g. a forked thread that is
+  never joined).
+
+The linter deliberately consumes a raw event sequence, not a
+:class:`Trace`, so it can run on input that ``Trace`` would refuse to
+construct. Event positions in diagnostics are list indices (which equal
+``eid`` for any trace loaded through :mod:`repro.traces.io`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.events import Event, EventKind, Target, Tid
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: Stable rule codes: code -> (severity, short description).
+RULES: Dict[str, Tuple[Severity, str]] = {
+    "SA101": (Severity.ERROR, "release of a lock that no thread holds"),
+    "SA102": (Severity.ERROR, "release of a lock held by another thread"),
+    "SA103": (Severity.ERROR, "reentrant acquire (thread already holds the lock)"),
+    "SA104": (Severity.ERROR, "acquire of a lock held by another thread"),
+    "SA105": (Severity.WARNING, "release out of LIFO nesting order"),
+    "SA110": (Severity.WARNING, "join of a thread that was never forked"),
+    "SA111": (Severity.NOTE, "forked thread is never joined"),
+    "SA112": (Severity.ERROR, "thread forked twice"),
+    "SA113": (Severity.ERROR, "thread joined twice"),
+    "SA114": (Severity.ERROR, "thread forks itself"),
+    "SA115": (Severity.ERROR, "thread executes an event before its fork"),
+    "SA116": (Severity.ERROR, "thread executes an event after its join"),
+    "SA117": (Severity.ERROR, "begin is not the thread's first event"),
+    "SA118": (Severity.ERROR, "end is not the thread's last event"),
+    "SA120": (Severity.WARNING, "lock still held at thread end"),
+    "SA130": (Severity.WARNING, "volatile variable also used as a lock"),
+    "SA131": (Severity.WARNING, "variable accessed both as volatile and as plain data"),
+    "SA132": (Severity.NOTE, "lock also accessed as a plain variable"),
+    "SA140": (Severity.ERROR, "access event without a target"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding.
+
+    Attributes:
+        code: Stable rule code (a :data:`RULES` key).
+        severity: :class:`Severity` of the finding.
+        message: Human-readable explanation, naming the events involved.
+        event_index: Position of the offending event in the input
+            sequence, or -1 for trace-level findings.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    event_index: int = -1
+
+    def format(self, line_number: Optional[int] = None) -> str:
+        """Render the diagnostic; ``line_number`` (when known) locates
+        the finding in the source trace file."""
+        where = f"line {line_number}" if line_number is not None else (
+            f"event #{self.event_index}" if self.event_index >= 0 else "trace")
+        return f"{where}: {self.code} {self.severity}: {self.message}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+class _Linter:
+    """Single-pass lint state machine (one instance per lint run)."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+        #: lock -> (holder tid, acquire index)
+        self.lock_holder: Dict[Target, Tuple[Tid, int]] = {}
+        #: tid -> open acquire indices, innermost last
+        self.stacks: Dict[Tid, List[int]] = {}
+        self.forked: Dict[Tid, int] = {}
+        self.joined: Dict[Tid, int] = {}
+        #: tid -> number of events executed by the thread so far
+        self.event_counts: Dict[Tid, int] = {}
+        #: tid -> index of a pending `end` marker (SA118 when more follow)
+        self.ended: Dict[Tid, int] = {}
+        #: target -> kinds of use seen ("lock", "volatile", "data")
+        self.uses: Dict[Target, Set[str]] = {}
+        #: first event index per (target, use-kind), for messages
+        self.first_use: Dict[Tuple[Target, str], int] = {}
+
+    # ------------------------------------------------------------------
+    def emit(self, code: str, message: str, index: int = -1) -> None:
+        severity, _ = RULES[code]
+        self.diagnostics.append(Diagnostic(code, severity, message, index))
+
+    def use(self, target: Target, kind: str, index: int) -> None:
+        self.uses.setdefault(target, set()).add(kind)
+        self.first_use.setdefault((target, kind), index)
+
+    # ------------------------------------------------------------------
+    def feed(self, i: int, e: Event) -> None:
+        tid = e.tid
+        if tid in self.ended and e.kind is not EventKind.END:
+            self.emit("SA118",
+                      f"{e}: thread {tid!r} continues after its end marker "
+                      f"(event #{self.ended[tid]})", i)
+            del self.ended[tid]
+        if tid in self.joined:
+            self.emit("SA116",
+                      f"{e}: thread {tid!r} executes after its join "
+                      f"(event #{self.joined[tid]})", i)
+            del self.joined[tid]  # report once per thread, not per event
+        count = self.event_counts.get(tid, 0)
+        self.event_counts[tid] = count + 1
+
+        kind = e.kind
+        if kind is EventKind.ACQUIRE:
+            self._acquire(i, e)
+        elif kind is EventKind.RELEASE:
+            self._release(i, e)
+        elif kind is EventKind.FORK:
+            self._fork(i, e)
+        elif kind is EventKind.JOIN:
+            self._join(i, e)
+        elif kind is EventKind.BEGIN:
+            if count:
+                self.emit("SA117", f"{e}: begin is not thread {tid!r}'s "
+                          "first event", i)
+        elif kind is EventKind.END:
+            self.ended[tid] = i
+        elif kind.is_volatile:
+            if e.target is None:
+                self.emit("SA140", f"{e}: volatile access without a target", i)
+            else:
+                self.use(e.target, "volatile", i)
+        elif kind.is_access:
+            if e.target is None:
+                self.emit("SA140", f"{e}: access without a target", i)
+            else:
+                self.use(e.target, "data", i)
+
+    # ------------------------------------------------------------------
+    def _acquire(self, i: int, e: Event) -> None:
+        holder = self.lock_holder.get(e.target)
+        if holder is not None:
+            who, acq_i = holder
+            if who == e.tid:
+                self.emit("SA103",
+                          f"{e}: thread {e.tid!r} already holds lock "
+                          f"{e.target!r} (acquired at event #{acq_i}; locks "
+                          "are non-reentrant)", i)
+            else:
+                self.emit("SA104",
+                          f"{e}: lock {e.target!r} is held by thread {who!r} "
+                          f"(acquired at event #{acq_i}); overlapping critical "
+                          "sections violate mutual exclusion", i)
+            # Recover by transferring the lock to the new acquirer so one
+            # bad event does not cascade into spurious reports.
+        self.lock_holder[e.target] = (e.tid, i)
+        self.stacks.setdefault(e.tid, []).append(i)
+        self.use(e.target, "lock", i)
+
+    def _release(self, i: int, e: Event) -> None:
+        holder = self.lock_holder.get(e.target)
+        self.use(e.target, "lock", i)
+        if holder is None:
+            self.emit("SA101",
+                      f"{e}: releases lock {e.target!r}, which no thread "
+                      "holds (no matching acquire)", i)
+            return
+        who, acq_i = holder
+        if who != e.tid:
+            self.emit("SA102",
+                      f"{e}: releases lock {e.target!r} held by thread "
+                      f"{who!r} (acquired at event #{acq_i})", i)
+            return
+        stack = self.stacks.get(e.tid, [])
+        if stack and stack[-1] != acq_i:
+            self.emit("SA105",
+                      f"{e}: releases lock {e.target!r} out of nesting order "
+                      f"(innermost open acquire is event #{stack[-1]})", i)
+        if acq_i in stack:
+            stack.remove(acq_i)
+        del self.lock_holder[e.target]
+
+    def _fork(self, i: int, e: Event) -> None:
+        child = e.target
+        if child == e.tid:
+            self.emit("SA114", f"{e}: thread forks itself", i)
+            return
+        if child in self.forked:
+            self.emit("SA112",
+                      f"{e}: thread {child!r} already forked at event "
+                      f"#{self.forked[child]}", i)
+            return
+        if self.event_counts.get(child, 0):
+            self.emit("SA115",
+                      f"{e}: thread {child!r} executed "
+                      f"{self.event_counts[child]} event(s) before this fork", i)
+        self.forked[child] = i
+
+    def _join(self, i: int, e: Event) -> None:
+        child = e.target
+        if child in self.joined:
+            self.emit("SA113",
+                      f"{e}: thread {child!r} already joined at event "
+                      f"#{self.joined[child]}", i)
+            return
+        if child not in self.forked:
+            self.emit("SA110",
+                      f"{e}: joins thread {child!r}, which was never forked", i)
+        self.joined[child] = i
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        for lock, (tid, acq_i) in self.lock_holder.items():
+            self.emit("SA120",
+                      f"thread {tid!r} still holds lock {lock!r} (acquired "
+                      f"at event #{acq_i}) when the trace ends", acq_i)
+        for child, fork_i in self.forked.items():
+            if child not in self.joined:
+                self.emit("SA111",
+                          f"thread {child!r} (forked at event #{fork_i}) is "
+                          "never joined", fork_i)
+        for target, kinds in self.uses.items():
+            if "volatile" in kinds and "lock" in kinds:
+                self.emit("SA130",
+                          f"{target!r} is used both as a volatile (event "
+                          f"#{self.first_use[(target, 'volatile')]}) and as a "
+                          f"lock (event #{self.first_use[(target, 'lock')]})",
+                          self.first_use[(target, "lock")])
+            if "volatile" in kinds and "data" in kinds:
+                self.emit("SA131",
+                          f"{target!r} is accessed both as a volatile (event "
+                          f"#{self.first_use[(target, 'volatile')]}) and as "
+                          "plain data (event "
+                          f"#{self.first_use[(target, 'data')]}); the "
+                          "analyses treat these as unrelated",
+                          self.first_use[(target, "data")])
+            elif "lock" in kinds and "data" in kinds:
+                self.emit("SA132",
+                          f"lock {target!r} is also accessed as a plain "
+                          "variable (event "
+                          f"#{self.first_use[(target, 'data')]})",
+                          self.first_use[(target, "data")])
+
+def lint_events(events: Sequence[Event]) -> List[Diagnostic]:
+    """Lint a raw event sequence; never raises on malformed input.
+
+    Returns all findings sorted by (event position, rule code). The
+    input need not be constructible as a :class:`~repro.core.trace.Trace`.
+    """
+    linter = _Linter()
+    for i, e in enumerate(events):
+        linter.feed(i, e)
+    linter.finalize()
+    return sorted(linter.diagnostics, key=lambda d: (d.event_index, d.code))
+
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Optional[Severity]:
+    """The highest severity present, or None for a clean result."""
+    return max((d.severity for d in diagnostics), default=None)

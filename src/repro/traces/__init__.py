@@ -1,7 +1,13 @@
 """Trace sources: paper litmus executions, random generation, IO, shrinking."""
 
 from repro.traces.gen import GeneratorConfig, random_trace, random_traces
-from repro.traces.io import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.traces.io import (
+    dump_trace,
+    dumps_trace,
+    load_events,
+    load_trace,
+    loads_trace,
+)
 from repro.traces.minimize import minimize_trace
 from repro.traces.render import render_columns, render_witness
 from repro.traces import litmus
@@ -11,6 +17,7 @@ __all__ = [
     "dump_trace",
     "dumps_trace",
     "litmus",
+    "load_events",
     "load_trace",
     "loads_trace",
     "minimize_trace",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.core.trace import Trace, TraceBuilder
 
@@ -48,10 +48,10 @@ def random_trace(seed: int, config: Optional[GeneratorConfig] = None) -> Trace:
     locks = [f"m{i}" for i in range(cfg.locks)]
     volatiles = [f"v{i}" for i in range(cfg.volatiles)]
 
-    held_by: dict = {}          # lock -> tid
-    stacks = {t: [] for t in tids}  # tid -> lock stack
+    held_by: Dict[str, int] = {}                         # lock -> tid
+    stacks: Dict[int, List[str]] = {t: [] for t in tids}  # tid -> lock stack
     started = set(tids)
-    finished: set = set()
+    finished: Set[int] = set()
 
     if cfg.use_fork_join and len(tids) > 1:
         # The first thread forks the rest and joins them at the end.

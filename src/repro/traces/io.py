@@ -20,14 +20,33 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import TextIO, Union
+from typing import List, TextIO, Tuple, Union
 
-from repro.core.events import Event, EventKind
-from repro.core.exceptions import TraceFormatError
+from repro.core.events import Event, EventKind, Tid
+from repro.core.exceptions import MalformedTraceError, TraceFormatError
 from repro.core.trace import Trace
 
 _KIND_BY_NAME = {kind.value: kind for kind in EventKind}
 _NO_TARGET = (EventKind.BEGIN, EventKind.END)
+_THREAD_TARGET = (EventKind.FORK, EventKind.JOIN)
+
+
+def _parse_tid(token: str) -> Tid:
+    """``T1``/``t1``/``1`` -> 1; anything else stays an opaque string.
+
+    Normalising here makes the format round-trip: :func:`_write` renders
+    integer tids as ``T<n>`` (the documented spelling), and
+    ``Event.__str__``'s own ``T`` prefix then shows ``@T1``, not ``@TT1``.
+    """
+    if token[:1] in ("T", "t") and token[1:].isdigit():
+        return int(token[1:])
+    if token.isdigit():
+        return int(token)
+    return token
+
+
+def _format_tid(tid: Tid) -> str:
+    return f"T{tid}" if isinstance(tid, int) else str(tid)
 
 
 def dump_trace(trace: Trace, target: Union[str, Path, TextIO]) -> None:
@@ -50,8 +69,10 @@ def _write(trace: Trace, handle: TextIO) -> None:
     handle.write("# repro trace: {} events, {} threads\n".format(
         len(trace), len(trace.threads)))
     for e in trace:
-        parts = [str(e.tid), e.kind.value]
-        if e.kind not in _NO_TARGET:
+        parts = [_format_tid(e.tid), e.kind.value]
+        if e.kind in _THREAD_TARGET:
+            parts.append(_format_tid(e.target))
+        elif e.kind not in _NO_TARGET:
             parts.append(str(e.target))
         if e.loc is not None:
             parts.append(str(e.loc))
@@ -71,8 +92,23 @@ def loads_trace(text: str, validate: bool = True) -> Trace:
     return _read(io.StringIO(text), validate)
 
 
-def _read(handle: TextIO, validate: bool) -> Trace:
-    events = []
+def load_events(source: Union[str, Path, TextIO]) -> Tuple[List[Event], List[int]]:
+    """Parse a text-format trace into raw events, skipping all structural
+    validation (no :class:`Trace` is built).
+
+    Returns ``(events, line_numbers)`` — parallel lists mapping each
+    event to its 1-based source line. This is the entry point for tools
+    that must accept malformed traces, like ``vindicator lint``.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _parse(handle)
+    return _parse(source)
+
+
+def _parse(handle: TextIO) -> Tuple[List[Event], List[int]]:
+    events: List[Event] = []
+    line_numbers: List[int] = []
     for number, raw in enumerate(handle, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
@@ -81,10 +117,11 @@ def _read(handle: TextIO, validate: bool) -> Trace:
         if len(parts) < 2:
             raise TraceFormatError("expected '<tid> <op> [target] [loc]'",
                                    line_number=number)
-        tid, op = parts[0], parts[1]
+        tid, op = _parse_tid(parts[0]), parts[1]
         kind = _KIND_BY_NAME.get(op)
         if kind is None:
             raise TraceFormatError(f"unknown operation {op!r}", line_number=number)
+        target: object
         if kind in _NO_TARGET:
             target = None
             loc = parts[2] if len(parts) > 2 else None
@@ -94,10 +131,27 @@ def _read(handle: TextIO, validate: bool) -> Trace:
             if len(parts) < 3:
                 raise TraceFormatError(f"operation {op!r} needs a target",
                                        line_number=number)
-            target = parts[2]
+            target = (_parse_tid(parts[2]) if kind in _THREAD_TARGET
+                      else parts[2])
             loc = parts[3] if len(parts) > 3 else None
         events.append(Event(len(events), tid, kind, target, loc))
+        line_numbers.append(number)
+    return events, line_numbers
+
+
+def _read(handle: TextIO, validate: bool) -> Trace:
+    events, line_numbers = _parse(handle)
     try:
         return Trace(events, validate=validate)
+    except MalformedTraceError as exc:
+        # Map the failing event back to its source line so the error is
+        # actionable for whoever logged the trace (the structural check
+        # reports an *event index*, which the file's comments and blank
+        # lines shift away from the line number).
+        line = -1
+        if 0 <= exc.event_index < len(line_numbers):
+            line = line_numbers[exc.event_index]
+        raise TraceFormatError(f"structurally invalid trace: {exc}",
+                               line_number=line) from exc
     except Exception as exc:
         raise TraceFormatError(f"structurally invalid trace: {exc}") from exc

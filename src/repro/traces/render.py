@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Set, Union
 
-from repro.core.events import Event
+from repro.core.events import Event, Tid
 from repro.core.trace import Trace
 
 
@@ -47,7 +47,7 @@ def render_columns(events: Union[Trace, Sequence[Event]],
         return "(empty trace)"
     marked: Set[int] = set(highlight or ())
 
-    threads: List = []
+    threads: List[Tid] = []
     for e in event_list:
         if e.tid not in threads:
             threads.append(e.tid)
@@ -56,7 +56,7 @@ def render_columns(events: Union[Trace, Sequence[Event]],
         cells = [len(_label(e)) for e in event_list if e.tid == tid]
         widths[tid] = max([min_width, len(f"Thread {tid}")] + cells) + 2
 
-    def row(cells):
+    def row(cells: List[str]) -> str:
         return "".join(cell.ljust(widths[tid])
                        for tid, cell in zip(threads, cells)).rstrip()
 

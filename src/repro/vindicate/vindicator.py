@@ -24,6 +24,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from repro.core.events import Event
+from repro.core.exceptions import SanitizerError
 from repro.core.trace import Trace
 from repro.graph.constraint_graph import ConstraintGraph
 from repro.graph.reachability import ReachabilityIndex
@@ -31,6 +32,7 @@ from repro.analysis.dc import DCDetector
 from repro.analysis.hb import HBDetector
 from repro.analysis.races import DynamicRace, RaceClass, RaceReport, classify
 from repro.analysis.wcp import WCPDetector
+from repro.static.lockset import LocksetResult, analyze_locksets, cross_check
 from repro.vindicate.add_constraints import add_constraints
 from repro.vindicate.construct import construct_reordered_trace
 from repro.vindicate.verify import check_witness
@@ -160,6 +162,9 @@ class VindicatorReport:
     vindications: List[Vindication] = field(default_factory=list)
     analysis_seconds: float = 0.0
     vindication_seconds: float = 0.0
+    #: Lockset pre-analysis verdicts (set when the pipeline ran with
+    #: ``prefilter`` or ``sanitize``; None otherwise).
+    lockset: Optional[LocksetResult] = None
 
     @property
     def dc_only_races(self) -> List[DynamicRace]:
@@ -196,11 +201,20 @@ class Vindicator:
             are already known true, modulo the deadlock caveat).
         policy: Greedy policy for the witness constructor.
         check_witnesses: Validate witnesses against Definition 2.1.
+        prefilter: Run the lockset pre-analysis first and install its
+            race-candidate set as every detector's fast-path filter.
+            Changes no verdict (the verdicts are sound exclusions);
+            skips the race check on provably race-free variables.
+        sanitize: Cross-check every detector's races against the
+            lockset over-approximation and raise
+            :class:`~repro.core.exceptions.SanitizerError` on any race
+            over a provably race-free variable.
     """
 
     def __init__(self, vindicate_all: bool = False, policy: str = "latest",
                  check_witnesses: bool = True, transitive_force: bool = True,
-                 use_window: bool = False):
+                 use_window: bool = False, prefilter: bool = False,
+                 sanitize: bool = False):
         self.vindicate_all = vindicate_all
         self.policy = policy
         self.check_witnesses = check_witnesses
@@ -210,12 +224,22 @@ class Vindicator:
         #: False, dependent DC-races surface and are refuted by
         #: VindicateRace instead of being suppressed by the detector.
         self.transitive_force = transitive_force
+        #: Enable the lockset fast-path filter on all three detectors.
+        self.prefilter = prefilter
+        #: Enable the lockset cross-check on all three race reports.
+        self.sanitize = sanitize
 
     def run(self, trace: Trace) -> VindicatorReport:
         """Analyze ``trace`` end to end."""
-        hb = HBDetector()
-        wcp = WCPDetector()
-        dc = DCDetector(build_graph=True)
+        lockset: Optional[LocksetResult] = None
+        candidates = None
+        if self.prefilter or self.sanitize:
+            lockset = analyze_locksets(trace.events)
+            if self.prefilter:
+                candidates = lockset.race_candidates
+        hb = HBDetector(prefilter=candidates)
+        wcp = WCPDetector(prefilter=candidates)
+        dc = DCDetector(build_graph=True, prefilter=candidates)
         for detector in (hb, wcp, dc):
             detector.transitive_force = self.transitive_force
         start = time.perf_counter()
@@ -238,9 +262,17 @@ class Vindicator:
             classified.append(replace(race, race_class=race_class))
         dc_report.races = classified
 
+        if self.sanitize:
+            assert lockset is not None
+            violations: List[str] = []
+            for analysis_report in (hb_report, wcp_report, dc_report):
+                violations.extend(cross_check(analysis_report.races, lockset))
+            if violations:
+                raise SanitizerError(violations)
+
         report = VindicatorReport(
             trace=trace, hb=hb_report, wcp=wcp_report, dc=dc_report,
-            analysis_seconds=analysis_seconds)
+            analysis_seconds=analysis_seconds, lockset=lockset)
         start = time.perf_counter()
         index = ReachabilityIndex(dc.graph)
         for race in classified:

@@ -68,6 +68,81 @@ class TestWorkloadCommand:
         assert "unknown workload" in capsys.readouterr().err
 
 
+class TestLintCommand:
+    def test_clean_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        dump_trace(figure1(), path)
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s), 0 note(s)" in out
+
+    def test_errors_reported_with_line_and_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("# comment\nT1 wr x\nT2 rel m\n")
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert f"{path}:line 3: SA101 error:" in out
+        assert "1 error(s)" in out
+
+    def test_warnings_do_not_fail(self, tmp_path, capsys):
+        path = tmp_path / "warn.txt"
+        path.write_text("T1 acq m\nT1 wr x\n")
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "SA120 warning" in out
+
+    def test_accepts_traces_analyze_rejects(self, tmp_path, capsys):
+        # `analyze` would raise TraceFormatError on this trace; `lint`
+        # must still process it and report every finding.
+        path = tmp_path / "mess.txt"
+        path.write_text("T1 rel m\nT1 rel m\nT2 join T9\n")
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("SA101") == 2
+        assert "SA110" in out
+
+
+class TestStaticFlags:
+    def test_prefilter_reports_counters(self, capsys):
+        assert main(["litmus", "figure2", "--prefilter"]) == 0
+        out = capsys.readouterr().out
+        assert "lockset pre-analysis:" in out
+        assert "pre-filter: skipped" in out
+        # Verdicts are unchanged by the filter.
+        assert "DC: 1 static races" in out
+        assert "predictable race" in out
+
+    def test_prefilter_matches_unfiltered_output(self, capsys):
+        assert main(["litmus", "figure1"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["litmus", "figure1", "--prefilter"]) == 0
+        filtered = capsys.readouterr().out
+        keep = [line for line in plain.splitlines()
+                if ("races" in line or "race" in line)
+                and "ms)" not in line]  # vindication lines embed wall time
+        for line in keep:
+            assert line in filtered
+
+    def test_sanitize_passes_on_litmus(self, capsys):
+        assert main(["litmus", "figure2", "--sanitize"]) == 0
+        assert "lockset pre-analysis:" in capsys.readouterr().out
+
+    def test_sanitize_with_prefilter_on_workload(self, capsys):
+        assert main(["workload", "luindex", "--scale", "0.2",
+                     "--prefilter", "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-filter: skipped" in out
+
+    def test_analyze_accepts_both_flags(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        dump_trace(figure2(), path)
+        assert main(["analyze", str(path), "--prefilter", "--sanitize",
+                     "--vindicate-all"]) == 0
+        out = capsys.readouterr().out
+        assert "lockset pre-analysis:" in out
+        assert "vindication:" in out
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

@@ -9,9 +9,11 @@ the reference matrix.
 import pytest
 
 from repro.analysis.dc import DCDetector
+from repro.analysis.fasttrack import FastTrackDetector
 from repro.analysis.hb import HBDetector
 from repro.analysis.reference import ReferenceAnalysis
 from repro.analysis.wcp import WCPDetector
+from repro.static.lockset import analyze_locksets, cross_check
 from repro.traces.gen import GeneratorConfig, random_trace
 
 CONFIGS = {
@@ -75,6 +77,35 @@ class TestOnlineMatchesReference:
         ref = ReferenceAnalysis(trace)
         snaps = clock_snapshots(DCDetector(build_graph=False), trace)
         assert_orderings_match(trace, snaps, ref.dc, "DC")
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("seed", range(12))
+class TestRacesAreLocksetCandidates:
+    """Structural cross-check (the ``--sanitize`` invariant): every race a
+    detector reports must be on a variable the lockset pre-analysis left
+    as a race candidate.  The static pass over-approximates the dynamic
+    detectors, so a violation here means a detector bug (or a filter
+    soundness bug), not a flaky trace."""
+
+    def _check(self, detector, trace):
+        report = detector.analyze(trace)
+        lockset = analyze_locksets(trace.events)
+        assert cross_check(report.races, lockset) == []
+
+    def test_hb(self, config_name, seed):
+        self._check(HBDetector(), random_trace(seed, CONFIGS[config_name]))
+
+    def test_fasttrack(self, config_name, seed):
+        self._check(FastTrackDetector(),
+                    random_trace(seed, CONFIGS[config_name]))
+
+    def test_wcp(self, config_name, seed):
+        self._check(WCPDetector(), random_trace(seed, CONFIGS[config_name]))
+
+    def test_dc(self, config_name, seed):
+        self._check(DCDetector(build_graph=False),
+                    random_trace(seed, CONFIGS[config_name]))
 
 
 @pytest.mark.parametrize("seed", range(8))

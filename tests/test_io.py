@@ -5,7 +5,14 @@ import io
 import pytest
 
 from repro.core.exceptions import TraceFormatError
-from repro.traces.io import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.core.events import EventKind
+from repro.traces.io import (
+    dump_trace,
+    dumps_trace,
+    load_events,
+    load_trace,
+    loads_trace,
+)
 from repro.traces.litmus import ALL as LITMUS
 from repro.traces.gen import GeneratorConfig, random_trace
 
@@ -88,3 +95,49 @@ class TestErrors:
         trace = loads_trace("T1 acq m\nT1 acq n\nT1 rel m\nT1 rel n\n",
                             validate=False)
         assert len(trace) == 4
+
+    def test_structural_error_maps_event_to_source_line(self):
+        # Comments and blank lines shift event indices away from line
+        # numbers; the re-raised TraceFormatError must report the
+        # *line* of the failing event, not its index (which is 2 here).
+        text = ("# header comment\n"
+                "T1 wr x\n"
+                "\n"
+                "T2 rd x\n"
+                "# another comment\n"
+                "T2 rel m\n")
+        with pytest.raises(TraceFormatError, match="line 6") as excinfo:
+            loads_trace(text)
+        assert excinfo.value.line_number == 6
+
+    def test_structural_error_line_in_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# comment\nT1 acq m\nT1 acq m\n")
+        with pytest.raises(TraceFormatError, match="line 3"):
+            load_trace(path)
+
+
+class TestLoadEvents:
+    def test_parses_malformed_traces(self):
+        events, lines = load_events(io.StringIO("T1 rel m\nT1 acq m\n"))
+        assert [e.kind for e in events] == [EventKind.RELEASE,
+                                           EventKind.ACQUIRE]
+        assert lines == [1, 2]
+
+    def test_line_numbers_skip_comments(self):
+        events, lines = load_events(
+            io.StringIO("# c\n\nT1 wr x\n# c\nT2 rd x\n"))
+        assert len(events) == 2
+        assert lines == [3, 5]
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "t.txt"
+        dump_trace(LITMUS["figure1"](), path)
+        events, lines = load_events(path)
+        assert len(events) == len(LITMUS["figure1"]())
+        # The dump's header comment occupies line 1.
+        assert lines[0] == 2
+
+    def test_format_errors_still_raise(self):
+        with pytest.raises(TraceFormatError, match="unknown operation"):
+            load_events(io.StringIO("T1 frobnicate x\n"))

@@ -1,0 +1,190 @@
+"""Unit tests for the collecting trace linter (repro.static.lint)."""
+
+import pytest
+
+from repro.core.events import Event, EventKind
+from repro.core.trace import TraceBuilder
+from repro.static.lint import (
+    RULES,
+    Diagnostic,
+    Severity,
+    lint_events,
+    max_severity,
+)
+from repro.traces.litmus import ALL as LITMUS
+
+
+def events_of(builder: TraceBuilder):
+    """The builder's raw events, without Trace construction (which
+    refuses unmatched releases even with validate=False)."""
+    return builder.events()
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestCleanTraces:
+    @pytest.mark.parametrize("name", sorted(LITMUS))
+    def test_litmus_traces_lint_clean(self, name):
+        assert lint_events(LITMUS[name]().events) == []
+
+    def test_fork_join_volatiles_clean(self):
+        b = (TraceBuilder()
+             .fork(1, 2).vwr(1, "v").vrd(2, "v")
+             .acq(2, "m").wr(2, "x").rel(2, "m")
+             .join(1, 2))
+        assert lint_events(events_of(b)) == []
+
+    def test_empty_trace(self):
+        assert lint_events([]) == []
+
+
+class TestLockRules:
+    def test_sa101_release_without_acquire(self):
+        diags = lint_events(events_of(TraceBuilder().rel(1, "m")))
+        assert codes(diags) == ["SA101"]
+        assert diags[0].severity is Severity.ERROR
+        assert diags[0].event_index == 0
+
+    def test_sa102_cross_thread_release(self):
+        b = TraceBuilder().acq(1, "m").rel(2, "m")
+        diags = lint_events(events_of(b))
+        assert "SA102" in codes(diags)
+        [sa102] = [d for d in diags if d.code == "SA102"]
+        assert sa102.event_index == 1
+        # Thread 1 also never releases the lock it still holds.
+        assert "SA120" in codes(diags)
+
+    def test_sa103_reentrant_acquire(self):
+        b = TraceBuilder().acq(1, "m").acq(1, "m").rel(1, "m")
+        diags = lint_events(events_of(b))
+        assert "SA103" in codes(diags)
+
+    def test_sa104_acquire_of_held_lock(self):
+        b = TraceBuilder().acq(1, "m").acq(2, "m").rel(1, "m").rel(2, "m")
+        diags = lint_events(events_of(b))
+        assert "SA104" in codes(diags)
+        # Recovery transfers the lock: thread 1's release then looks
+        # cross-thread, which is exactly what happened in the trace.
+        assert "SA102" in codes(diags)
+
+    def test_sa105_out_of_nesting_order(self):
+        b = (TraceBuilder()
+             .acq(1, "m").acq(1, "n").rel(1, "m").rel(1, "n"))
+        diags = lint_events(events_of(b))
+        assert codes(diags) == ["SA105"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_sa120_lock_held_at_end(self):
+        b = TraceBuilder().acq(1, "m").wr(1, "x")
+        diags = lint_events(events_of(b))
+        assert codes(diags) == ["SA120"]
+        assert diags[0].event_index == 0  # points at the open acquire
+
+
+class TestThreadRules:
+    def test_sa110_join_without_fork(self):
+        diags = lint_events(events_of(TraceBuilder().join(1, 2)))
+        assert codes(diags) == ["SA110"]
+
+    def test_sa111_fork_without_join(self):
+        b = TraceBuilder().fork(1, 2).wr(2, "x")
+        diags = lint_events(events_of(b))
+        assert codes(diags) == ["SA111"]
+        assert diags[0].severity is Severity.NOTE
+
+    def test_sa112_double_fork(self):
+        b = TraceBuilder().fork(1, 2).fork(1, 2).join(1, 2)
+        assert "SA112" in codes(lint_events(events_of(b)))
+
+    def test_sa113_double_join(self):
+        b = TraceBuilder().fork(1, 2).wr(2, "x").join(1, 2).join(1, 2)
+        assert "SA113" in codes(lint_events(events_of(b)))
+
+    def test_sa114_self_fork(self):
+        diags = lint_events(events_of(TraceBuilder().fork(1, 1)))
+        assert codes(diags) == ["SA114"]
+
+    def test_sa115_event_before_fork(self):
+        b = TraceBuilder().wr(2, "x").fork(1, 2).join(1, 2)
+        assert "SA115" in codes(lint_events(events_of(b)))
+
+    def test_sa116_event_after_join(self):
+        b = TraceBuilder().fork(1, 2).wr(2, "x").join(1, 2).wr(2, "x")
+        diags = lint_events(events_of(b))
+        assert "SA116" in codes(diags)
+
+    def test_sa117_begin_not_first(self):
+        b = TraceBuilder().wr(1, "x").begin(1)
+        assert "SA117" in codes(lint_events(events_of(b)))
+
+    def test_sa118_end_not_last(self):
+        b = TraceBuilder().end(1).wr(1, "x")
+        assert "SA118" in codes(lint_events(events_of(b)))
+
+    def test_begin_end_well_placed_are_clean(self):
+        b = TraceBuilder().begin(1).wr(1, "x").end(1)
+        assert lint_events(events_of(b)) == []
+
+
+class TestUsageRules:
+    def test_sa130_volatile_as_lock(self):
+        b = TraceBuilder().vwr(1, "v").acq(2, "v").rel(2, "v")
+        diags = lint_events(events_of(b))
+        assert "SA130" in codes(diags)
+
+    def test_sa131_volatile_as_plain_data(self):
+        b = TraceBuilder().vwr(1, "v").rd(2, "v")
+        diags = lint_events(events_of(b))
+        assert "SA131" in codes(diags)
+
+    def test_sa132_lock_as_plain_variable(self):
+        b = TraceBuilder().acq(1, "m").rel(1, "m").wr(2, "m")
+        diags = lint_events(events_of(b))
+        assert "SA132" in codes(diags)
+        assert diags[-1].severity is Severity.NOTE
+
+    def test_sa140_access_without_target(self):
+        diags = lint_events([Event(0, 1, EventKind.WRITE, None)])
+        assert codes(diags) == ["SA140"]
+
+
+class TestLinterContract:
+    def test_never_raises_on_garbage(self):
+        # A trace violating many rules at once: the linter must collect,
+        # not throw.
+        b = (TraceBuilder()
+             .rel(1, "m").acq(1, "m").acq(2, "m")
+             .join(3, 9).fork(1, 1).wr(2, "m"))
+        diags = lint_events(events_of(b))
+        assert len(diags) >= 4
+
+    def test_diagnostics_sorted_by_position(self):
+        b = TraceBuilder().rel(1, "m").rel(1, "n").join(1, 9)
+        indices = [d.event_index for d in lint_events(events_of(b))]
+        assert indices == sorted(indices)
+
+    def test_all_emitted_codes_are_registered(self):
+        b = (TraceBuilder()
+             .rel(1, "m").acq(1, "n").acq(1, "n")
+             .join(3, 9).vwr(2, "n"))
+        for diag in lint_events(events_of(b)):
+            assert diag.code in RULES
+            assert diag.severity is RULES[diag.code][0]
+
+    def test_format_with_line_number(self):
+        diag = Diagnostic("SA101", Severity.ERROR, "boom", 4)
+        assert diag.format(12).startswith("line 12: SA101 error")
+        assert diag.format().startswith("event #4: SA101 error")
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        b = TraceBuilder().acq(1, "m")
+        assert max_severity(lint_events(events_of(b))) is Severity.WARNING
+        b = TraceBuilder().rel(1, "m")
+        assert max_severity(lint_events(events_of(b))) is Severity.ERROR
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.NOTE
+        assert str(Severity.WARNING) == "warning"

@@ -1,0 +1,149 @@
+"""Property tests for the static passes (hypothesis).
+
+Two families:
+
+* every trace our generators and workloads produce lints clean — the
+  linter's error rules encode exactly the well-formedness the event
+  model guarantees;
+* deleting or retargeting a synchronisation event from a clean trace
+  produces a diagnostic with the expected stable rule code — seeded
+  mutations are caught, and caught as the *right* rule.
+
+The linter reports positions, not eids, so mutated event lists need no
+renumbering.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.events import EventKind  # noqa: E402
+from repro.runtime import execute  # noqa: E402
+from repro.runtime.workloads import WORKLOADS  # noqa: E402
+from repro.static.lint import lint_events  # noqa: E402
+from repro.static.lockset import analyze_locksets  # noqa: E402
+from repro.traces.gen import GeneratorConfig, random_trace  # noqa: E402
+
+CONFIGS = [
+    GeneratorConfig(threads=3, events=30, locks=2, variables=3),
+    GeneratorConfig(threads=4, events=40, locks=3, variables=2,
+                    max_nesting=2, use_fork_join=True),
+    GeneratorConfig(threads=2, events=24, locks=2, variables=2,
+                    volatiles=2),
+    GeneratorConfig(threads=4, events=36, locks=3, variables=3,
+                    volatiles=1, use_fork_join=True, max_nesting=2),
+]
+
+traces = st.builds(random_trace,
+                   st.integers(min_value=0, max_value=10_000),
+                   st.sampled_from(CONFIGS))
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+def lock_pairs(events):
+    """Indices (acq_i, rel_i) of matched acquire/release pairs."""
+    open_acq = {}
+    pairs = []
+    for i, e in enumerate(events):
+        if e.kind is EventKind.ACQUIRE:
+            open_acq[e.target] = i
+        elif e.kind is EventKind.RELEASE and e.target in open_acq:
+            pairs.append((open_acq.pop(e.target), i))
+    return pairs
+
+
+class TestCleanByConstruction:
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces)
+    def test_generated_traces_lint_clean(self, trace):
+        assert lint_events(trace.events) == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(name=st.sampled_from(sorted(WORKLOADS)),
+           seed=st.integers(min_value=0, max_value=50))
+    def test_workload_traces_lint_clean(self, name, seed):
+        trace = execute(WORKLOADS[name](scale=0.15), seed=seed)
+        assert lint_events(trace.events) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces)
+    def test_lockset_is_total_and_agrees_with_lint(self, trace):
+        """Every plain variable gets a verdict, and the pass never
+        mistakes locks or volatiles for variables (which the linter
+        would flag as SA130/SA131/SA132 mixed use)."""
+        result = analyze_locksets(trace.events)
+        accessed = {e.target for e in trace.events
+                    if e.kind.is_access and not e.kind.is_volatile}
+        assert set(result.variables) == accessed
+
+
+class TestSeededMutations:
+    @settings(max_examples=25, deadline=None)
+    @given(trace=traces, data=st.data())
+    def test_deleted_acquire_is_sa101(self, trace, data):
+        pairs = lock_pairs(trace.events)
+        if not pairs:
+            return
+        acq_i, _ = data.draw(st.sampled_from(pairs))
+        mutated = [e for i, e in enumerate(trace.events) if i != acq_i]
+        assert "SA101" in codes(lint_events(mutated))
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace=traces, data=st.data())
+    def test_deleted_release_leaves_lock_dangling(self, trace, data):
+        pairs = lock_pairs(trace.events)
+        if not pairs:
+            return
+        _, rel_i = data.draw(st.sampled_from(pairs))
+        mutated = [e for i, e in enumerate(trace.events) if i != rel_i]
+        # The dangling hold surfaces as a reacquire by the same thread
+        # (SA103), an acquire by another (SA104), or a lock still held
+        # at trace end (SA120) — depending on what follows.
+        assert codes(lint_events(mutated)) & {"SA103", "SA104", "SA120"}
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace=traces, data=st.data())
+    def test_deleted_fork_is_sa110(self, trace, data):
+        forks = [i for i, e in enumerate(trace.events)
+                 if e.kind is EventKind.FORK
+                 and any(j.kind is EventKind.JOIN and j.target == e.target
+                         for j in trace.events)]
+        if not forks:
+            return
+        fork_i = data.draw(st.sampled_from(forks))
+        mutated = [e for i, e in enumerate(trace.events) if i != fork_i]
+        assert "SA110" in codes(lint_events(mutated))
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace=traces, data=st.data())
+    def test_deleted_join_is_sa111(self, trace, data):
+        joins = [i for i, e in enumerate(trace.events)
+                 if e.kind is EventKind.JOIN
+                 and any(f.kind is EventKind.FORK and f.target == e.target
+                         for f in trace.events)]
+        if not joins:
+            return
+        join_i = data.draw(st.sampled_from(joins))
+        mutated = [e for i, e in enumerate(trace.events) if i != join_i]
+        assert "SA111" in codes(lint_events(mutated))
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace=traces, data=st.data())
+    def test_retargeted_release_is_sa102(self, trace, data):
+        pairs = lock_pairs(trace.events)
+        tids = sorted(trace.threads)
+        if not pairs or len(tids) < 2:
+            return
+        _, rel_i = data.draw(st.sampled_from(pairs))
+        victim = trace.events[rel_i]
+        thief = data.draw(st.sampled_from(
+            [t for t in tids if t != victim.tid]))
+        mutated = list(trace.events)
+        mutated[rel_i] = replace(victim, tid=thief)
+        assert "SA102" in codes(lint_events(mutated))

@@ -1,0 +1,21 @@
+"""Local mirror of CI's mypy gate.
+
+Runs the exact check the ``typecheck`` CI job runs (scope and strictness
+come from pyproject's ``[tool.mypy]``: strict on repro.core,
+repro.static, repro.traces).  Skipped when mypy is not installed — CI
+always has it, so the gate cannot be dodged by uninstalling.
+"""
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_strict_packages_type_check():
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(REPO_ROOT / "pyproject.toml")])
+    assert status == 0, f"mypy failed:\n{stdout}\n{stderr}"
