@@ -1,0 +1,148 @@
+"""Overhead guard — the observability subsystem must cost ~nothing
+when disabled.
+
+The null-object design (see ``docs/OBSERVABILITY.md``) promises that
+with observability off — the default — the instrumented pipeline runs
+at seed throughput: the hottest loops batch plain ints, moderate sites
+call empty methods on shared singletons, and the registry is consulted
+only at phase boundaries. Two guards enforce the promise:
+
+* ``test_disabled_matches_seed_throughput`` checks out the pre-obs
+  revision (this PR's merge base, i.e. ``HEAD`` while the obs work is
+  uncommitted, else the last commit before ``src/repro/obs`` existed)
+  into a temporary git worktree and times the identical DC analysis in
+  subprocesses against both source trees, interleaved A/B. The
+  instrumented-but-disabled tree must stay within 5% of seed
+  throughput (the ISSUE 3 acceptance bar, with a small noise floor).
+* ``test_enabled_overhead_is_bounded`` bounds the *enabled* cost
+  in-process, so turning metrics on for a profiling run stays usable.
+
+Results land in ``benchmarks/results/obs_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.analysis.dc import DCDetector
+from repro.obs.timing import best_of
+from repro.runtime import execute, fast_path_filter
+from repro.runtime.workloads import WORKLOADS
+from repro.traces.io import dump_trace
+
+from harness import write_result
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: Subprocess payload: parse the trace and time the heaviest detector
+#: configuration (DC + graph — the loop every layer of instrumentation
+#: touches). Prints the best-of-N analysis seconds.
+_PAYLOAD = """\
+import sys, time
+from repro.analysis.dc import DCDetector
+from repro.traces.io import load_trace
+
+trace = load_trace(sys.argv[1])
+best = float("inf")
+for _ in range(int(sys.argv[2])):
+    det = DCDetector(build_graph=True)
+    start = time.perf_counter()
+    det.analyze(trace)
+    best = min(best, time.perf_counter() - start)
+print(best)
+"""
+
+REPEATS = 3          # best-of per subprocess
+INTERLEAVES = 3      # A/B subprocess pairs (best over pairs)
+
+
+def _git(*argv: str) -> str:
+    return subprocess.run(["git", *argv], cwd=REPO, check=True,
+                          capture_output=True, text=True).stdout.strip()
+
+
+def _seed_rev() -> str:
+    """The revision to compare against: the last commit in which
+    ``src/repro/obs`` does not exist (== the tree this PR grew from)."""
+    rev = "HEAD"
+    while True:
+        tree = _git("ls-tree", "--name-only", f"{rev}:src/repro")
+        if "obs" not in tree.split():
+            return _git("rev-parse", rev)
+        rev = f"{rev}~1"
+
+
+def _time_tree(src: pathlib.Path, trace_file: pathlib.Path) -> float:
+    out = subprocess.run(
+        [sys.executable, "-c", _PAYLOAD, str(trace_file), str(REPEATS)],
+        env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        check=True, capture_output=True, text=True).stdout
+    return float(out.strip())
+
+
+@pytest.fixture(scope="module")
+def bench_trace(tmp_path_factory):
+    trace = execute(WORKLOADS["xalan"](scale=2.0), seed=7)
+    filtered, _ = fast_path_filter(trace)
+    path = tmp_path_factory.mktemp("obs_overhead") / "trace.txt"
+    dump_trace(filtered, path)
+    return filtered, path
+
+
+def test_disabled_matches_seed_throughput(bench_trace, tmp_path):
+    trace, trace_file = bench_trace
+    try:
+        seed_rev = _seed_rev()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        pytest.skip("git history unavailable")
+
+    worktree = tmp_path / "seed-tree"
+    _git("worktree", "add", "--detach", str(worktree), seed_rev)
+    try:
+        seed_best = float("inf")
+        cur_best = float("inf")
+        for _ in range(INTERLEAVES):
+            seed_best = min(seed_best,
+                            _time_tree(worktree / "src", trace_file))
+            cur_best = min(cur_best, _time_tree(REPO / "src", trace_file))
+    finally:
+        _git("worktree", "remove", "--force", str(worktree))
+
+    ratio = cur_best / seed_best
+    lines = [
+        "Observability overhead guard: DC+graph analysis, "
+        f"{len(trace)}-event xalan trace (best of {REPEATS}x"
+        f"{INTERLEAVES} subprocess runs)",
+        f"{'tree':28s} | {'time (ms)':>10s} | {'events/sec':>12s}",
+        "-" * 58,
+        f"{'seed (' + seed_rev[:12] + ')':28s} | {seed_best * 1e3:10.1f} | "
+        f"{len(trace) / seed_best:12,.0f}",
+        f"{'instrumented, obs disabled':28s} | {cur_best * 1e3:10.1f} | "
+        f"{len(trace) / cur_best:12,.0f}",
+        "",
+        f"disabled/seed time ratio: {ratio:.3f} (bar: <= 1.05)",
+    ]
+    write_result("obs_overhead.txt", "\n".join(lines))
+    assert ratio <= 1.05, (
+        f"obs-disabled run is {ratio:.3f}x seed time (> 1.05 bar): "
+        f"{cur_best * 1e3:.1f} ms vs {seed_best * 1e3:.1f} ms")
+
+
+def test_enabled_overhead_is_bounded(bench_trace):
+    """Metrics-on must stay within 2x of metrics-off on the same
+    analysis (it is a profiling mode, not a free lunch — but span and
+    registry work happens at phase boundaries, not per event)."""
+    trace, _ = bench_trace
+    off = best_of(lambda: DCDetector(build_graph=True).analyze(trace))
+    try:
+        obs.enable()
+        on = best_of(lambda: DCDetector(build_graph=True).analyze(trace))
+    finally:
+        obs.disable()
+    assert on <= off * 2.0, (
+        f"metrics-on analysis {on * 1e3:.1f} ms vs off {off * 1e3:.1f} ms")

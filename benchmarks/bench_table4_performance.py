@@ -13,10 +13,10 @@ ordering on identical traces
 (with FastTrack near HB — its epoch fast paths cannot pay off fully in
 this event model, see repro.analysis.fasttrack), plus VindicateRace
 time per race. ``pytest-benchmark`` provides the timing machinery; one
-benchmark per configuration runs on the same xalan-analog trace.
+benchmark per configuration runs on the same xalan-analog trace. The
+summary table uses :mod:`repro.obs.timing` so every configuration also
+reports its wall time and peak-RSS growth side by side.
 """
-
-import time
 
 import pytest
 
@@ -24,6 +24,7 @@ from repro.analysis.dc import DCDetector
 from repro.analysis.fasttrack import FastTrackDetector
 from repro.analysis.hb import HBDetector
 from repro.analysis.wcp import WCPDetector
+from repro.obs.timing import best_of, measure
 from repro.runtime import execute, fast_path_filter
 from repro.runtime.workloads import WORKLOADS
 from repro.static.lockset import analyze_locksets
@@ -89,25 +90,31 @@ def test_prefilter_throughput(perf_trace, benchmark, label, factory):
 
 
 def test_table4_summary(perf_trace, benchmark):
-    """Build the Table 4 analog: events/sec and slowdown vs replay."""
+    """Build the Table 4 analog: events/sec, wall time, peak memory,
+    and slowdown vs replay (timing via :mod:`repro.obs.timing`)."""
     rows = []
     base_time = None
     for label, factory in CONFIGS:
-        start = time.perf_counter()
-        repeats = 3
-        for _ in range(repeats):
-            _run(perf_trace, factory)
-        elapsed = (time.perf_counter() - start) / repeats
+        # One measured run captures peak-RSS growth (a high-water mark:
+        # later, heavier configs attribute correctly because cost rises
+        # monotonically down the table); best-of-3 gives the wall time.
+        first = measure(lambda: _run(perf_trace, factory))
+        elapsed = min(first.elapsed_seconds,
+                      best_of(lambda: _run(perf_trace, factory), repeats=2))
         if base_time is None:
             base_time = elapsed
-        rows.append((label, len(perf_trace) / elapsed, elapsed / base_time))
+        rows.append((label, elapsed, len(perf_trace) / elapsed,
+                     elapsed / base_time, first.peak_rss_delta_kb))
     lines = [f"Table 4 (analog): analysis cost on a {len(perf_trace)}-event "
              f"xalan trace",
              f"{'configuration':22s} | {'events/sec':>12s} | "
-             f"{'slowdown vs replay':>18s}",
-             "-" * 60]
-    for label, throughput, slowdown in rows:
-        lines.append(f"{label:22s} | {throughput:12,.0f} | {slowdown:17.1f}x")
+             f"{'time (ms)':>10s} | {'peak-RSS +kB':>12s} | "
+             f"{'vs replay':>9s}",
+             "-" * 78]
+    for label, elapsed, throughput, slowdown, rss_kb in rows:
+        lines.append(f"{label:22s} | {throughput:12,.0f} | "
+                     f"{elapsed * 1e3:10.1f} | {rss_kb:12d} | "
+                     f"{slowdown:8.1f}x")
     # VindicateRace time per race, on the same trace (best of 3 runs —
     # per-race wall times are witness-check dominated and noisy).
     from repro.vindicate.vindicator import Vindicator
@@ -137,13 +144,6 @@ def test_table4_summary(perf_trace, benchmark):
     lines.append("-" * 64)
     speedups = {}
     for label, factory in ABLATION_CONFIGS:
-        def best_of(thunk, repeats=3):
-            best = float("inf")
-            for _ in range(repeats):
-                start = time.perf_counter()
-                thunk()
-                best = min(best, time.perf_counter() - start)
-            return best
         off_report = factory().analyze(perf_trace)
         off = best_of(lambda: factory().analyze(perf_trace))
         on_report = factory(prefilter=candidates).analyze(perf_trace)
@@ -169,7 +169,7 @@ def test_table4_summary(perf_trace, benchmark):
     # one configuration without changing any verdict (asserted above).
     assert max(speedups.values()) >= 1.3, speedups
 
-    throughputs = {label: tp for label, tp, _ in rows}
+    throughputs = {label: tp for label, _, tp, _, _ in rows}
     # The relative ordering the paper's Table 4 shape implies.
     assert throughputs["replay (no analysis)"] > throughputs["HB"]
     assert throughputs["HB"] > throughputs["WCP"]

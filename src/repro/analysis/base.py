@@ -22,10 +22,12 @@ import abc
 from dataclasses import dataclass, field
 from typing import Collection, Dict, FrozenSet, List, Optional, Tuple
 
+from repro import obs
 from repro.core.events import Event, EventKind, Target, Tid
 from repro.core.trace import Trace
 from repro.core.vectorclock import VectorClock
 from repro.analysis.races import DynamicRace, RaceReport
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
 
 
 @dataclass
@@ -74,6 +76,10 @@ class Detector(abc.ABC):
             None if prefilter is None else frozenset(prefilter))
         self._filter_skips = 0
         self._filter_checks = 0
+        #: Vector-clock joins performed (batched into the metrics
+        #: registry at :meth:`finish`; a plain int so the per-join cost
+        #: is one increment whether or not observability is on).
+        self._n_joins = 0
         #: After reporting a race, force the pair's ordering (Section 6.1).
         #: The differential tests disable this to compare the detector's
         #: clocks against the pure relation computed by the reference
@@ -98,10 +104,19 @@ class Detector(abc.ABC):
     # ------------------------------------------------------------------
     def analyze(self, trace: Trace) -> RaceReport:
         """Run the detector over ``trace`` and return its race report."""
-        self.begin_trace(trace)
-        for event in trace:
-            self.handle(event)
-        return self.finish()
+        with obs.span(f"analysis.{self.metric_label()}") as sp:
+            self.begin_trace(trace)
+            for event in trace:
+                self.handle(event)
+            report = self.finish()
+            sp.annotate("events", len(trace))
+            sp.annotate("races", len(report.races))
+        return report
+
+    def metric_label(self) -> str:
+        """This detector's metric-name segment (``"HB/FastTrack"`` →
+        ``"hb_fasttrack"``)."""
+        return self.relation.lower().replace("/", "_")
 
     def begin_trace(self, trace: Trace) -> None:
         """Reset state and bind the detector to ``trace`` (streaming API:
@@ -112,6 +127,7 @@ class Detector(abc.ABC):
         self.racing_at = {}
         self._filter_skips = 0
         self._filter_checks = 0
+        self._n_joins = 0
 
     def finish(self) -> RaceReport:
         """Return the report for the trace processed so far."""
@@ -119,7 +135,34 @@ class Detector(abc.ABC):
         if self.prefilter is not None:
             self.report.counters["lockset_skipped"] = self._filter_skips
             self.report.counters["lockset_checked"] = self._filter_checks
+        reg = obs.metrics()
+        if reg.enabled:
+            self._publish(reg)
         return self.report
+
+    def _publish(self, reg: obs.AnyRegistry) -> None:
+        """Batch this trace's statistics into the live metrics registry.
+
+        Called from :meth:`finish` only when observability is enabled,
+        so the per-event dispatch and race-check loops carry no
+        instrumentation at all: events processed come from the trace
+        length, races and distances from the report, joins from the
+        :attr:`_n_joins` batch counter, and the report counters are
+        mirrored so there is one way to count things.
+        """
+        assert self.report is not None
+        label = self.metric_label()
+        if self.trace is not None:
+            reg.add(f"analysis.{label}.events", len(self.trace))
+        reg.add(f"analysis.{label}.races", len(self.report.races))
+        reg.add(f"analysis.{label}.vc_joins", self._n_joins)
+        for name, value in self.report.counters.items():
+            reg.add(f"analysis.{label}.{name}", value)
+        if self.report.races:
+            hist = reg.histogram(f"analysis.{label}.race_distance",
+                                 DEFAULT_SIZE_BUCKETS)
+            for race in self.report.races:
+                hist.observe(race.second.eid - race.first.eid)
 
     def handle(self, event: Event) -> None:
         """Dispatch one event to its kind-specific hook."""
@@ -241,6 +284,7 @@ class Detector(abc.ABC):
                             # The prior access itself plus everything
                             # ordered before it.
                             clock.join(snapshot)
+                            self._n_joins += 1
                         self.on_forced_order(prior, e)
 
         snapshot = clock.copy()

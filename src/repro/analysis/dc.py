@@ -24,6 +24,7 @@ from repro.core.exceptions import MalformedTraceError
 from repro.core.trace import Trace
 from repro.core.vectorclock import VectorClock
 from repro.analysis.base import Detector
+from repro.analysis.races import RaceReport
 from repro.analysis.sync_structures import LockQueues, SourceClocks
 from repro.graph.constraint_graph import ConstraintGraph
 
@@ -55,10 +56,15 @@ class DCDetector(Detector):
         self._pending_vars: Dict[Tid, Dict[Target, Tuple[Set[Target], Set[Target]]]] = {}
         self._pending_fork: Dict[Tid, Tuple[int, VectorClock]] = {}
         self._last_event: Dict[Tid, int] = {}
+        #: Non-PO graph edges added; batched into the report (and the
+        #: metrics registry) at :meth:`finish` so the per-edge cost is a
+        #: single int increment on the hot path.
+        self._n_graph_edges = 0
 
     def begin_trace(self, trace: Trace) -> None:
         super().begin_trace(trace)
         self.graph = ConstraintGraph(len(trace))
+        self._n_graph_edges = 0
         self._clocks = {}
         self._queues = {}
         self._cs_writes = {}
@@ -68,6 +74,15 @@ class DCDetector(Detector):
         self._pending_vars = {}
         self._pending_fork = {}
         self._last_event = {}
+
+    def finish(self) -> RaceReport:
+        assert self.report is not None, "begin_trace was never called"
+        if self._n_graph_edges:
+            counters = self.report.counters
+            counters["graph_edges"] = (
+                counters.get("graph_edges", 0) + self._n_graph_edges)
+            self._n_graph_edges = 0
+        return super().finish()
 
     # ------------------------------------------------------------------
     # Clock / graph plumbing
@@ -89,6 +104,7 @@ class DCDetector(Detector):
         if pending is not None:
             fork_eid, parent_clock = pending
             clock.join(parent_clock)
+            self._n_joins += 1
             self._add_edge(fork_eid, e.eid)
         self._last_event[e.tid] = e.eid
         return clock
@@ -96,7 +112,7 @@ class DCDetector(Detector):
     def _add_edge(self, src: int, dst: int) -> None:
         if self.build_graph:
             self.graph.add_edge(src, dst)
-            self.bump("graph_edges")
+            self._n_graph_edges += 1
 
     def _add_edges(self, sources: List[int], dst: int) -> None:
         for src in sources:
@@ -198,10 +214,12 @@ class DCDetector(Detector):
             # and as a fork→join graph edge.
             fork_eid, parent_clock = pending
             clock.join(parent_clock)
+            self._n_joins += 1
             self._add_edge(fork_eid, e.eid)
         child_clock = self._clocks.get(e.target)
         if child_clock is not None:
             clock.join(child_clock)
+            self._n_joins += 1
             child_last = self._last_event.get(e.target)
             if child_last is not None:
                 self._add_edge(child_last, e.eid)

@@ -22,7 +22,7 @@ from repro.core.events import Event, Target, Tid
 from repro.core.trace import Trace
 from repro.core.vectorclock import Epoch
 from repro.analysis.hb import HBDetector
-from repro.analysis.races import DynamicRace
+from repro.analysis.races import DynamicRace, RaceReport
 
 
 @dataclass
@@ -50,10 +50,24 @@ class FastTrackDetector(HBDetector):
     def __init__(self, prefilter: Optional[Collection[Target]] = None):
         super().__init__(prefilter)
         self._vars: Dict[Target, _VarState] = {}
+        #: Same-epoch write fast-path hits — FastTrack's headline O(1)
+        #: case. A plain int on the per-event hot path; folded into the
+        #: report counters (and the metrics registry) at :meth:`finish`.
+        self._n_epoch_fast = 0
 
     def begin_trace(self, trace: Trace) -> None:
         super().begin_trace(trace)
         self._vars = {}
+        self._n_epoch_fast = 0
+
+    def finish(self) -> RaceReport:
+        assert self.report is not None, "begin_trace was never called"
+        if self._n_epoch_fast:
+            counters = self.report.counters
+            counters["ft_epoch_fast_hits"] = (
+                counters.get("ft_epoch_fast_hits", 0) + self._n_epoch_fast)
+            self._n_epoch_fast = 0
+        return super().finish()
 
     # ------------------------------------------------------------------
     # Access handling (replaces the vector-clock history of the base)
@@ -118,6 +132,7 @@ class FastTrackDetector(HBDetector):
         if (state.write_epoch is not None
                 and state.write_epoch.tid == e.tid
                 and state.write_epoch.time == clock.get(e.tid)):
+            self._n_epoch_fast += 1
             return  # same-epoch fast path
         racing_priors = []
         if state.write_epoch is not None and not state.write_epoch.happens_before(clock):

@@ -55,6 +55,7 @@ class HBDetector(Detector):
         parent = self._pending_fork.pop(e.tid, None)
         if parent is not None:
             clock.join(parent)
+            self._n_joins += 1
         return clock
 
     # ------------------------------------------------------------------
@@ -73,6 +74,7 @@ class HBDetector(Detector):
         released = self._lock_clocks.get(e.target)
         if released is not None:
             clock.join(released)
+            self._n_joins += 1
 
     def on_release(self, e: Event) -> None:
         clock = self._advance(e)
@@ -89,9 +91,11 @@ class HBDetector(Detector):
             # Child never executed an event: the fork ordering still
             # flows through the (empty) child into the join.
             clock.join(pending)
+            self._n_joins += 1
         child = self._clocks.get(e.target)
         if child is not None:
             clock.join(child)
+            self._n_joins += 1
 
     def on_volatile_write(self, e: Event) -> None:
         clock = self._advance(e)

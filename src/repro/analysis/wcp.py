@@ -89,6 +89,7 @@ class WCPDetector(Detector):
             parent_h, parent_p = pending
             h.join(parent_h)
             p.join(parent_p)
+            self._n_joins += 2
         return h, p
 
     # ------------------------------------------------------------------
@@ -133,6 +134,7 @@ class WCPDetector(Detector):
         if lock_h is not None:
             h.join(lock_h)
             p.join(self._lock_p[e.target])  # right HB composition
+            self._n_joins += 2
         queues = self._queues.get(e.target)
         if queues is None:
             queues = LockQueues()
@@ -184,10 +186,12 @@ class WCPDetector(Detector):
             parent_h, parent_p = pending
             h.join(parent_h)
             p.join(parent_p)
+            self._n_joins += 2
         child_h = self._h.get(e.target)
         if child_h is not None:
             h.join(child_h)
             p.join(child_h)
+            self._n_joins += 2
 
     def on_volatile_write(self, e: Event) -> None:
         h, p = self._advance(e)

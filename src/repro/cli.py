@@ -11,28 +11,43 @@ Sub-commands:
 * ``litmus [name]`` — run the paper's litmus executions (all, or one by
   name) and show what each analysis finds;
 * ``workload <name>`` — execute a DaCapo-analog workload and analyze its
-  trace.
+  trace;
+* ``profile <trace-file|workload>`` — run the full pipeline with
+  observability enabled and print the per-phase span tree plus the
+  metrics summary (see :mod:`repro.obs`).
 
 ``analyze``, ``litmus``, and ``workload`` accept ``--prefilter`` (skip
 vector-clock race checks on variables the lockset pre-analysis proves
 race-free) and ``--sanitize`` (cross-check every detector's races
-against that pre-analysis; exit 1 on a violation).
+against that pre-analysis; exit 1 on a violation). ``analyze`` and
+``workload`` accept ``--json`` to emit the machine-readable
+``vindicator.analyze/1`` document instead of the human report.
+
+The global ``--metrics <path>`` flag (before the sub-command) enables
+the observability subsystem for any command and exports by extension:
+``*.jsonl`` streams span/metrics records, ``*.json`` writes the
+snapshot document, ``*.prom``/``*.txt`` writes Prometheus text.
 
 Examples::
 
     vindicator litmus figure2
     vindicator analyze mytrace.txt --vindicate-all --witness
-    vindicator analyze mytrace.txt --prefilter --sanitize
+    vindicator analyze mytrace.txt --prefilter --sanitize --json
     vindicator lint mytrace.txt
     vindicator workload xalan --seed 3 --scale 0.5
+    vindicator --metrics run.jsonl workload avrora
+    vindicator profile xalan --scale 0.5
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.analysis.races import RaceClass
 from repro.core.exceptions import SanitizerError
 from repro.static.lint import Severity, lint_events
@@ -82,13 +97,18 @@ def _print_report(report: VindicatorReport, show_witness: bool) -> None:
             print(f"  {locs}: {rng}")
 
 
-def _run_and_print(vindicator: Vindicator, trace, show_witness: bool) -> int:
+def _run_and_print(vindicator: Vindicator, trace, show_witness: bool,
+                   as_json: bool = False) -> int:
     try:
         report = vindicator.run(trace)
     except SanitizerError as exc:
         print(exc, file=sys.stderr)
         return 1
-    _print_report(report, show_witness=show_witness)
+    if as_json:
+        json.dump(report.to_document(), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        _print_report(report, show_witness=show_witness)
     return 0
 
 
@@ -98,7 +118,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                             policy=args.policy,
                             prefilter=args.prefilter,
                             sanitize=args.sanitize)
-    return _run_and_print(vindicator, trace, args.witness)
+    return _run_and_print(vindicator, trace, args.witness,
+                          as_json=args.json)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -155,7 +176,75 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     vindicator = Vindicator(vindicate_all=args.vindicate_all,
                             prefilter=args.prefilter,
                             sanitize=args.sanitize)
-    return _run_and_print(vindicator, trace, args.witness)
+    return _run_and_print(vindicator, trace, args.witness,
+                          as_json=args.json)
+
+
+def _profile_trace(args: argparse.Namespace):
+    """Load (or execute) the profile target inside a ``profile.load`` span.
+
+    The target is a trace file when a file of that name exists,
+    otherwise a workload name. Returns ``None`` for an unknown target.
+    """
+    from repro.runtime import execute, fast_path_filter
+    from repro.runtime.workloads import WORKLOADS
+
+    target = args.target
+    is_file = os.path.exists(target)
+    if not is_file and target not in WORKLOADS:
+        print(f"unknown trace file or workload {target!r}; available "
+              f"workloads: {', '.join(WORKLOADS)}", file=sys.stderr)
+        return None
+    with obs.span("profile.load") as load_span:
+        if is_file:
+            trace = load_trace(target)
+        else:
+            trace = execute(WORKLOADS[target](scale=args.scale),
+                            seed=args.seed)
+        if args.fast_path:
+            trace, _ = fast_path_filter(trace)
+        load_span.annotate("events", len(trace))
+    return trace
+
+
+def _print_profile_summary(session: obs.ObsSession) -> None:
+    reg = session.registry
+    counters = reg.counters()
+    if counters:
+        width = max(len(name) for name in counters)
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name:<{width}}  {counters[name]}")
+    gauges = reg.gauges()
+    if gauges:
+        width = max(len(name) for name in gauges)
+        print("gauges:")
+        for name in sorted(gauges):
+            print(f"  {name:<{width}}  {gauges[name]}")
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    meta = {"command": f"profile {args.target}"}
+    with obs.session(metrics_path=args.metrics, meta=meta,
+                     deep_memory=args.deep_mem) as session:
+        with obs.span(f"profile.{args.target}"):
+            trace = _profile_trace(args)
+            if trace is None:
+                return 2
+            meta["provenance"] = dict(trace.provenance)
+            vindicator = Vindicator(vindicate_all=args.vindicate_all,
+                                    prefilter=args.prefilter,
+                                    sanitize=args.sanitize)
+            try:
+                vindicator.run(trace)
+            except SanitizerError as exc:
+                print(exc, file=sys.stderr)
+                return 1
+        print(session.render_spans(min_ms=args.min_ms))
+        _print_profile_summary(session)
+        if args.metrics:
+            print(f"metrics written to {args.metrics}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -164,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="vindicator",
         description="Sound predictive data race detection (Vindicator, "
                     "PLDI 2018 reproduction)")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="enable observability and export metrics to "
+                             "PATH (.jsonl streams span records, .json "
+                             "writes a snapshot, .prom/.txt Prometheus "
+                             "text)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_static_flags(cmd: argparse.ArgumentParser) -> None:
@@ -183,6 +277,9 @@ def build_parser() -> argparse.ArgumentParser:
                          default="latest", help="greedy construction policy")
     analyze.add_argument("--witness", action="store_true",
                          help="print witness traces for confirmed races")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the vindicator.analyze/1 JSON document "
+                              "instead of the human-readable report")
     add_static_flags(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
@@ -207,14 +304,52 @@ def build_parser() -> argparse.ArgumentParser:
                           help="apply the redundant-access fast path")
     workload.add_argument("--vindicate-all", action="store_true")
     workload.add_argument("--witness", action="store_true")
+    workload.add_argument("--json", action="store_true",
+                          help="emit the vindicator.analyze/1 JSON document "
+                               "instead of the human-readable report")
     add_static_flags(workload)
     workload.set_defaults(func=_cmd_workload)
+
+    profile = sub.add_parser(
+        "profile", help="run the pipeline with observability on and print "
+                        "the per-phase span tree + metrics summary")
+    profile.add_argument("target",
+                         help="trace file path, or workload name")
+    profile.add_argument("--seed", type=int, default=0,
+                         help="scheduler seed (workload targets)")
+    profile.add_argument("--scale", type=float, default=1.0,
+                         help="workload scale factor (workload targets)")
+    profile.add_argument("--fast-path", action="store_true",
+                         help="apply the redundant-access fast path")
+    profile.add_argument("--vindicate-all", action="store_true")
+    profile.add_argument("--deep-mem", action="store_true",
+                         help="also sample gc object counts at phase "
+                              "boundaries (slower)")
+    profile.add_argument("--min-ms", type=float, default=0.0,
+                         help="hide spans shorter than this many ms")
+    # Convenience: accept --metrics after the sub-command too. SUPPRESS
+    # keeps the global flag's value when this one is absent.
+    profile.add_argument("--metrics", metavar="PATH",
+                         default=argparse.SUPPRESS,
+                         help="also export metrics to PATH (same formats "
+                              "as the global --metrics flag)")
+    add_static_flags(profile)
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.func is _cmd_profile:
+        # profile manages its own observability session (always enabled,
+        # --metrics only picks the export path).
+        return args.func(args)
+    if args.metrics:
+        with obs.session(metrics_path=args.metrics,
+                         meta={"command": args.command}):
+            status = args.func(args)
+        return status
     return args.func(args)
 
 

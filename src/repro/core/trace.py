@@ -41,6 +41,12 @@ class Trace:
 
     def __init__(self, events: Sequence[Event], validate: bool = True):
         self.events: List[Event] = list(events)
+        #: Where this trace came from (generator seed and config,
+        #: scheduler seed, source file, ...). Stamped by producers
+        #: (``traces.gen``, ``runtime.scheduler``, ``traces.io``) and
+        #: copied into :class:`~repro.vindicate.vindicator.VindicatorReport`
+        #: so any measured run is reproducible from its own output.
+        self.provenance: Dict[str, object] = {}
         for i, e in enumerate(self.events):
             if e.eid != i:
                 raise MalformedTraceError(

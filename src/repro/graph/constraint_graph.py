@@ -158,6 +158,14 @@ class ConstraintGraph:
     def edge_count(self) -> int:
         return self._edge_count
 
+    def stats(self) -> "dict[str, int]":
+        """Structure counters for the metrics registry / reports."""
+        return {
+            "nodes": self.num_events,
+            "edges": self._edge_count,
+            "generation": self.generation,
+        }
+
     # ------------------------------------------------------------------
     # Reachability (direct BFS; see repro.graph.reachability for the
     # memoizing engine used by the vindication hot paths)

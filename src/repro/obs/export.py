@@ -1,0 +1,190 @@
+"""Exporters: JSONL event stream, snapshot JSON, Prometheus text.
+
+Three formats, chosen by file extension in :func:`write_metrics`:
+
+* ``*.jsonl`` — a streamed event log (``vindicator.obs/1``): a ``meta``
+  header, one flat ``span`` record per closed span (emitted via the
+  tracer's ``on_close`` hook, so long runs don't buffer their whole
+  span forest), and a single trailing ``metrics`` record;
+* ``*.json`` — one self-contained snapshot document
+  (``vindicator.obs-snapshot/1``) with the metrics snapshot and the
+  recursive span tree;
+* ``*.prom`` / ``*.txt`` — Prometheus text exposition format, with
+  dotted metric names mangled to ``vindicator_``-prefixed underscores.
+
+All record shapes are pinned by :mod:`repro.obs.schema`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, IO, List, Mapping, Optional
+
+from repro.obs.metrics import AnyRegistry, Value
+from repro.obs.schema import OBS_SNAPSHOT_SCHEMA_ID, OBS_STREAM_SCHEMA_ID
+from repro.obs.spans import AnyTracer, Span
+
+
+def _dumps(record: Mapping[str, object]) -> str:
+    return json.dumps(record, separators=(",", ":"), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Record builders (JSONL stream)
+# ----------------------------------------------------------------------
+def meta_record(command: str = "",
+                provenance: Optional[Mapping[str, object]] = None
+                ) -> Dict[str, object]:
+    """The stream header: schema tag + run identity."""
+    record: Dict[str, object] = {
+        "type": "meta",
+        "schema": OBS_STREAM_SCHEMA_ID,
+        "command": command,
+        "python": sys.version.split()[0],
+    }
+    if provenance:
+        record["provenance"] = dict(provenance)
+    return record
+
+
+def span_record(span: Span, depth: int) -> Dict[str, object]:
+    """One closed span as a flat stream record (depth, not nesting,
+    carries the tree structure — children close before parents, so the
+    stream is a post-order walk)."""
+    record: Dict[str, object] = {
+        "type": "span",
+        "name": span.name,
+        "elapsed_seconds": span.elapsed_seconds,
+        "depth": depth,
+    }
+    if span.counts:
+        record["counts"] = dict(span.counts)
+    mem = span.memory_delta()
+    if mem:
+        record["memory"] = mem
+    return record
+
+
+def metrics_record(registry: AnyRegistry) -> Dict[str, object]:
+    """The single trailing record with the final metrics snapshot."""
+    return {"type": "metrics", "metrics": registry.snapshot()}
+
+
+class JsonlWriter:
+    """Appends compact JSON lines to an open text stream.
+
+    Usable directly as a tracer ``on_close`` hook via :meth:`on_close`.
+    """
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._stream = stream
+
+    def write(self, record: Mapping[str, object]) -> None:
+        self._stream.write(_dumps(record))
+        self._stream.write("\n")
+
+    def on_close(self, span: Span, depth: int) -> None:
+        self.write(span_record(span, depth))
+
+
+# ----------------------------------------------------------------------
+# Snapshot document
+# ----------------------------------------------------------------------
+def snapshot_document(registry: AnyRegistry, tracer: AnyTracer,
+                      meta: Optional[Mapping[str, object]] = None
+                      ) -> Dict[str, object]:
+    """One self-contained JSON document: metrics + span tree + meta."""
+    doc: Dict[str, object] = {
+        "schema": OBS_SNAPSHOT_SCHEMA_ID,
+        "metrics": registry.snapshot(),
+        "spans": tracer.to_dicts(),
+    }
+    if meta:
+        doc["meta"] = dict(meta)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def _prom_name(name: str, prefix: str) -> str:
+    return f"{prefix}_{name.replace('.', '_')}"
+
+
+def _prom_value(value: Value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def to_prometheus(registry: AnyRegistry, prefix: str = "vindicator") -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, value in registry.counters().items():
+        mangled = _prom_name(name, prefix)
+        lines.append(f"# TYPE {mangled} counter")
+        lines.append(f"{mangled} {_prom_value(value)}")
+    for name, value in registry.gauges().items():
+        mangled = _prom_name(name, prefix)
+        lines.append(f"# TYPE {mangled} gauge")
+        lines.append(f"{mangled} {_prom_value(value)}")
+    for name, hist in registry.histograms().items():
+        mangled = _prom_name(name, prefix)
+        lines.append(f"# TYPE {mangled} histogram")
+        buckets = hist["buckets"]
+        counts = hist["counts"]
+        assert isinstance(buckets, list) and isinstance(counts, list)
+        cumulative = 0
+        for bound, count in zip(buckets, counts):
+            cumulative += count
+            lines.append(f'{mangled}_bucket{{le="{bound:g}"}} {cumulative}')
+        cumulative += counts[-1] if counts else 0
+        lines.append(f'{mangled}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{mangled}_sum {_prom_value(hist['sum'])}")  # type: ignore[arg-type]
+        lines.append(f"{mangled}_count {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Extension-dispatched writer (the ``--metrics <path>`` backend for the
+# non-streaming formats; *.jsonl streaming is wired in obs.session()).
+# ----------------------------------------------------------------------
+def write_metrics(path: str, registry: AnyRegistry, tracer: AnyTracer,
+                  meta: Optional[Mapping[str, object]] = None) -> None:
+    """Write the final artifact for ``--metrics <path>``.
+
+    ``*.json`` → snapshot document; ``*.prom``/``*.txt`` → Prometheus
+    text; anything else (including ``*.jsonl``) → the stream's trailing
+    records, for callers that did not stream during the run.
+    """
+    lower = path.lower()
+    with open(path, "w", encoding="utf-8") as fh:
+        if lower.endswith(".json"):
+            json.dump(snapshot_document(registry, tracer, meta), fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+        elif lower.endswith((".prom", ".txt")):
+            fh.write(to_prometheus(registry))
+        else:
+            writer = JsonlWriter(fh)
+            writer.write(meta_record(
+                command=str((meta or {}).get("command", "")),
+                provenance=_as_mapping((meta or {}).get("provenance"))))
+            _write_span_stream(writer, tracer)
+            writer.write(metrics_record(registry))
+
+
+def _as_mapping(value: object) -> Optional[Mapping[str, object]]:
+    return value if isinstance(value, dict) else None
+
+
+def _write_span_stream(writer: JsonlWriter, tracer: AnyTracer) -> None:
+    """Re-emit a buffered span forest as post-order flat records."""
+    def emit(span: Span, depth: int) -> None:
+        for child in span.children:
+            emit(child, depth + 1)
+        writer.on_close(span, depth)
+
+    for root in getattr(tracer, "roots", []):
+        emit(root, 0)

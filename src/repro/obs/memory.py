@@ -1,0 +1,76 @@
+"""Memory accounting: cheap process-level samples at phase boundaries.
+
+The paper's Tables 2–4 are as much about metadata *memory* as about
+time (SmartTrack's entire contribution is shrinking per-variable
+metadata), so the tracer samples memory at every span open/close. The
+default sample is deliberately cheap — two syscalls and a CPython
+allocator counter, microseconds — so phase-level sampling never
+perturbs what it measures:
+
+* ``peak_rss_kb`` — the process's high-water resident set
+  (``getrusage``; kilobytes on Linux, normalised from bytes on macOS);
+* ``allocated_blocks`` — live CPython allocator blocks
+  (:func:`sys.getallocatedblocks`), the closest cheap proxy for "live
+  Python objects right now" and, unlike RSS, it goes *down* when
+  metadata is freed;
+* ``gc_objects`` — the exact tracked-object count from
+  ``len(gc.get_objects())``; linear in heap size, so it is only taken
+  when *deep* sampling is requested (``vindicator profile --deep-mem``).
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+import sys
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: ``ru_maxrss`` unit: kilobytes on Linux, bytes on macOS.
+_RSS_DIVISOR = 1024 if sys.platform == "darwin" else 1
+
+
+def peak_rss_kb() -> int:
+    """The process's peak resident set size, in kilobytes."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // _RSS_DIVISOR
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """One point-in-time memory reading."""
+
+    peak_rss_kb: int
+    allocated_blocks: int
+    #: Exact gc-tracked object count; None unless deep sampling is on.
+    gc_objects: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "peak_rss_kb": self.peak_rss_kb,
+            "allocated_blocks": self.allocated_blocks,
+        }
+        if self.gc_objects is not None:
+            out["gc_objects"] = self.gc_objects
+        return out
+
+
+def sample(deep: bool = False) -> MemorySample:
+    """Take a memory sample (deep = also count gc-tracked objects)."""
+    return MemorySample(
+        peak_rss_kb=peak_rss_kb(),
+        allocated_blocks=sys.getallocatedblocks(),
+        gc_objects=len(gc.get_objects()) if deep else None,
+    )
+
+
+def delta(before: MemorySample, after: MemorySample) -> Dict[str, int]:
+    """Per-field growth between two samples (peak RSS never shrinks;
+    allocated blocks and object counts may go negative when a phase
+    frees more than it allocates)."""
+    out = {
+        "peak_rss_kb": after.peak_rss_kb - before.peak_rss_kb,
+        "allocated_blocks": after.allocated_blocks - before.allocated_blocks,
+    }
+    if before.gc_objects is not None and after.gc_objects is not None:
+        out["gc_objects"] = after.gc_objects - before.gc_objects
+    return out

@@ -1,0 +1,387 @@
+"""Stable, documented schemas for every machine-readable output.
+
+Benchmarks and CI consume three artifact families, each carrying an
+explicit ``schema`` version tag so scrapers fail loudly instead of
+silently misparsing:
+
+* ``vindicator.obs/1`` — the ``--metrics *.jsonl`` event stream: one
+  ``meta`` record, then one flat ``span`` record per closed span, then
+  exactly one final ``metrics`` record;
+* ``vindicator.obs-snapshot/1`` — the single-document form
+  (``--metrics *.json``): metrics snapshot + recursive span tree +
+  memory + meta;
+* ``vindicator.analyze/1`` — ``vindicator analyze --json``: trace
+  provenance, per-analysis race reports, classification, vindication
+  verdicts, and the metrics snapshot when observability was on.
+
+Validation is a dependency-free subset of JSON Schema (``type``,
+``properties``, ``required``, ``additionalProperties``, ``items``,
+``enum``, plus ``$ref`` into a definitions table for the recursive span
+tree). The exact field-by-field contract is documented in
+``docs/OBSERVABILITY.md``; tests and the CI perf-smoke job validate
+real artifacts against these schemas on every run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+Schema = Mapping[str, object]
+
+#: Version tags (bump on any breaking change to the matching schema).
+OBS_STREAM_SCHEMA_ID = "vindicator.obs/1"
+OBS_SNAPSHOT_SCHEMA_ID = "vindicator.obs-snapshot/1"
+ANALYZE_SCHEMA_ID = "vindicator.analyze/1"
+
+
+class SchemaError(ValueError):
+    """A document does not conform to its schema."""
+
+    def __init__(self, path: str, message: str):
+        super().__init__(f"{path}: {message}")
+        self.path = path
+
+
+_TYPES: Dict[str, Union[type, tuple]] = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+    "null": type(None),
+}
+
+
+def _type_ok(value: object, name: str) -> bool:
+    expected = _TYPES[name]
+    if name in ("integer", "number") and isinstance(value, bool):
+        return False  # bool is an int subclass; JSON says they differ
+    return isinstance(value, expected)  # type: ignore[arg-type]
+
+
+def validate(value: object, schema: Schema, path: str = "$",
+             defs: Optional[Mapping[str, Schema]] = None) -> None:
+    """Validate ``value`` against ``schema``; raise :class:`SchemaError`
+    naming the offending path on the first violation."""
+    ref = schema.get("$ref")
+    if ref is not None:
+        if defs is None or not isinstance(ref, str) or ref not in defs:
+            raise SchemaError(path, f"unresolvable $ref {ref!r}")
+        validate(value, defs[ref], path, defs)
+        return
+
+    type_spec = schema.get("type")
+    if type_spec is not None:
+        names = [type_spec] if isinstance(type_spec, str) else list(type_spec)  # type: ignore[arg-type]
+        if not any(isinstance(n, str) and _type_ok(value, n) for n in names):
+            raise SchemaError(
+                path, f"expected {' or '.join(map(str, names))}, "
+                      f"got {type(value).__name__} ({value!r:.80})")
+
+    enum = schema.get("enum")
+    if enum is not None and value not in enum:  # type: ignore[operator]
+        raise SchemaError(path, f"{value!r} not in enum {enum!r}")
+
+    if isinstance(value, dict):
+        props = schema.get("properties")
+        required = schema.get("required")
+        extra = schema.get("additionalProperties", True)
+        if isinstance(required, list):
+            for key in required:
+                if key not in value:
+                    raise SchemaError(path, f"missing required key {key!r}")
+        if isinstance(props, dict):
+            for key, sub in props.items():
+                if key in value and isinstance(sub, dict):
+                    validate(value[key], sub, f"{path}.{key}", defs)
+            if extra is False:
+                unknown = set(value) - set(props)
+                if unknown:
+                    raise SchemaError(
+                        path, f"unexpected keys {sorted(unknown)!r}")
+            elif isinstance(extra, dict):
+                for key in set(value) - set(props):
+                    validate(value[key], extra, f"{path}.{key}", defs)
+        elif isinstance(extra, dict):
+            for key, item in value.items():
+                validate(item, extra, f"{path}.{key}", defs)
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                validate(item, items, f"{path}[{i}]", defs)
+
+
+# ----------------------------------------------------------------------
+# Shared fragments
+# ----------------------------------------------------------------------
+_NUMBER = {"type": "number"}
+_COUNTS = {"type": "object", "additionalProperties": _NUMBER}
+_MEMORY = {"type": "object", "additionalProperties": {"type": "integer"}}
+
+_HISTOGRAM = {
+    "type": "object",
+    "required": ["buckets", "counts", "sum", "count"],
+    "additionalProperties": False,
+    "properties": {
+        "buckets": {"type": "array", "items": _NUMBER},
+        "counts": {"type": "array", "items": {"type": "integer"}},
+        "sum": _NUMBER,
+        "count": {"type": "integer"},
+    },
+}
+
+_METRICS_SNAPSHOT = {
+    "type": "object",
+    "required": ["counters", "gauges", "histograms"],
+    "additionalProperties": False,
+    "properties": {
+        "counters": _COUNTS,
+        "gauges": _COUNTS,
+        "histograms": {"type": "object", "additionalProperties": _HISTOGRAM},
+    },
+}
+
+#: Recursive span tree node (snapshot form).
+_SPAN_TREE: Dict[str, object] = {
+    "type": "object",
+    "required": ["name", "elapsed_seconds"],
+    "additionalProperties": False,
+    "properties": {
+        "name": {"type": "string"},
+        "elapsed_seconds": _NUMBER,
+        "counts": _COUNTS,
+        "memory": _MEMORY,
+        "children": {"type": "array", "items": {"$ref": "span_tree"}},
+    },
+}
+
+_DEFS: Dict[str, Schema] = {"span_tree": _SPAN_TREE}
+
+_PROVENANCE = {"type": "object"}
+
+# ----------------------------------------------------------------------
+# JSONL stream records (vindicator.obs/1)
+# ----------------------------------------------------------------------
+META_RECORD_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["type", "schema"],
+    "properties": {
+        "type": {"enum": ["meta"]},
+        "schema": {"enum": [OBS_STREAM_SCHEMA_ID]},
+        "command": {"type": "string"},
+        "python": {"type": "string"},
+        "provenance": _PROVENANCE,
+    },
+}
+
+SPAN_RECORD_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["type", "name", "elapsed_seconds", "depth"],
+    "additionalProperties": False,
+    "properties": {
+        "type": {"enum": ["span"]},
+        "name": {"type": "string"},
+        "elapsed_seconds": _NUMBER,
+        "depth": {"type": "integer"},
+        "counts": _COUNTS,
+        "memory": _MEMORY,
+    },
+}
+
+METRICS_RECORD_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["type", "metrics"],
+    "additionalProperties": False,
+    "properties": {
+        "type": {"enum": ["metrics"]},
+        "metrics": _METRICS_SNAPSHOT,
+    },
+}
+
+_RECORD_SCHEMAS: Dict[str, Schema] = {
+    "meta": META_RECORD_SCHEMA,
+    "span": SPAN_RECORD_SCHEMA,
+    "metrics": METRICS_RECORD_SCHEMA,
+}
+
+# ----------------------------------------------------------------------
+# Snapshot document (vindicator.obs-snapshot/1)
+# ----------------------------------------------------------------------
+SNAPSHOT_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["schema", "metrics", "spans"],
+    "properties": {
+        "schema": {"enum": [OBS_SNAPSHOT_SCHEMA_ID]},
+        "metrics": _METRICS_SNAPSHOT,
+        "spans": {"type": "array", "items": {"$ref": "span_tree"}},
+        "memory": _MEMORY,
+        "meta": {"type": "object"},
+    },
+}
+
+# ----------------------------------------------------------------------
+# analyze --json document (vindicator.analyze/1)
+# ----------------------------------------------------------------------
+_EVENT = {
+    "type": "object",
+    "required": ["eid", "tid", "kind", "target"],
+    "properties": {
+        "eid": {"type": "integer"},
+        "tid": {"type": ["string", "integer"]},
+        "kind": {"type": "string"},
+        "target": {"type": ["string", "integer", "null"]},
+        "loc": {"type": ["string", "null"]},
+    },
+}
+
+_RACE = {
+    "type": "object",
+    "required": ["first", "second", "relation", "distance"],
+    "properties": {
+        "first": _EVENT,
+        "second": _EVENT,
+        "relation": {"type": "string"},
+        "race_class": {"type": ["string", "null"]},
+        "distance": {"type": "integer"},
+    },
+}
+
+_ANALYSIS = {
+    "type": "object",
+    "required": ["relation", "static_races", "dynamic_races", "races",
+                 "counters"],
+    "properties": {
+        "relation": {"type": "string"},
+        "static_races": {"type": "integer"},
+        "dynamic_races": {"type": "integer"},
+        "races": {"type": "array", "items": _RACE},
+        "counters": _COUNTS,
+    },
+}
+
+_VINDICATION = {
+    "type": "object",
+    "required": ["race", "verdict", "ls_constraints", "consecutive_edges",
+                 "attempts", "elapsed_seconds"],
+    "properties": {
+        "race": _RACE,
+        "verdict": {"enum": ["predictable race", "no predictable race",
+                             "don't know"]},
+        "ls_constraints": {"type": "integer"},
+        "consecutive_edges": {"type": "integer"},
+        "attempts": {"type": "integer"},
+        "elapsed_seconds": _NUMBER,
+        "witness_events": {"type": ["integer", "null"]},
+        "cycle": {"type": ["array", "null"], "items": {"type": "integer"}},
+    },
+}
+
+ANALYZE_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["schema", "trace", "analyses", "race_classes",
+                 "vindications"],
+    "properties": {
+        "schema": {"enum": [ANALYZE_SCHEMA_ID]},
+        "trace": {
+            "type": "object",
+            "required": ["events", "threads", "provenance"],
+            "properties": {
+                "events": {"type": "integer"},
+                "threads": {"type": "array"},
+                "variables": {"type": "integer"},
+                "provenance": _PROVENANCE,
+            },
+        },
+        "analyses": {
+            "type": "object",
+            "required": ["hb", "wcp", "dc"],
+            "additionalProperties": _ANALYSIS,
+        },
+        "race_classes": {"type": "object",
+                         "additionalProperties": {"type": "integer"}},
+        "vindications": {"type": "array", "items": _VINDICATION},
+        "lockset": {
+            "type": ["object", "null"],
+            "properties": {
+                "summary": {"type": "string"},
+                "verdicts": {"type": "object",
+                             "additionalProperties": {"type": "integer"}},
+            },
+        },
+        "timing": {
+            "type": "object",
+            "properties": {
+                "analysis_seconds": _NUMBER,
+                "vindication_seconds": _NUMBER,
+            },
+        },
+        "metrics": {"type": ["object", "null"]},
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def validate_snapshot(doc: object) -> None:
+    """Validate a ``vindicator.obs-snapshot/1`` document."""
+    validate(doc, SNAPSHOT_SCHEMA, defs=_DEFS)
+
+
+def validate_analyze_document(doc: object) -> None:
+    """Validate a ``vindicator.analyze/1`` document."""
+    validate(doc, ANALYZE_SCHEMA, defs=_DEFS)
+
+
+def validate_jsonl_record(record: object, path: str = "$") -> str:
+    """Validate one stream record; returns its ``type``."""
+    if not isinstance(record, dict):
+        raise SchemaError(path, f"record must be an object, got "
+                                f"{type(record).__name__}")
+    kind = record.get("type")
+    schema = _RECORD_SCHEMAS.get(kind) if isinstance(kind, str) else None
+    if schema is None:
+        raise SchemaError(path, f"unknown record type {kind!r}")
+    validate(record, schema, path, defs=_DEFS)
+    return kind  # type: ignore[return-value]
+
+
+def validate_jsonl_lines(lines: Iterable[str], source: str = "<stream>") -> Dict[str, int]:
+    """Validate a whole ``vindicator.obs/1`` stream.
+
+    Enforces the stream grammar — first record ``meta``, exactly one
+    trailing ``metrics`` record — and returns record counts by type.
+    """
+    counts: Dict[str, int] = {}
+    kinds: List[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"{source}:{lineno}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(where, f"invalid JSON: {exc}") from exc
+        kind = validate_jsonl_record(record, where)
+        counts[kind] = counts.get(kind, 0) + 1
+        kinds.append(kind)
+    if not kinds:
+        raise SchemaError(source, "empty metrics stream")
+    if kinds[0] != "meta":
+        raise SchemaError(source, f"first record must be 'meta', "
+                                  f"got {kinds[0]!r}")
+    if counts.get("metrics", 0) != 1 or kinds[-1] != "metrics":
+        raise SchemaError(source, "stream must end with exactly one "
+                                  "'metrics' record")
+    return counts
+
+
+def validate_jsonl_path(path: str) -> Dict[str, int]:
+    """Validate a ``--metrics`` JSONL artifact on disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return validate_jsonl_lines(fh, source=path)

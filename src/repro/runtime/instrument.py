@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.core.events import Event, EventKind, Target, Tid
 from repro.core.trace import Trace
 
@@ -71,5 +72,15 @@ def fast_path_filter(trace: Trace) -> Tuple[Trace, FastPathStats]:
             sync_epoch[e.tid] = sync_epoch.get(e.tid, 0) + 1
             kept.append(e)
     filtered = Trace.from_events(kept)
-    return filtered, FastPathStats(original_events=len(trace),
-                                   filtered_events=len(filtered))
+    # The filtered trace is the same execution, just pruned: it keeps
+    # the original's provenance (plus a marker that the filter ran).
+    if trace.provenance:
+        filtered.provenance = dict(trace.provenance)
+        filtered.provenance["fast_path_filtered"] = True
+    stats = FastPathStats(original_events=len(trace),
+                          filtered_events=len(filtered))
+    reg = obs.metrics()
+    if reg.enabled:
+        reg.add("runtime.fast_path.seen", stats.original_events)
+        reg.add("runtime.fast_path.removed", stats.removed)
+    return filtered, stats

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro import obs
 from repro.core.events import EventKind, Target, Tid
 from repro.core.exceptions import ReproError
 from repro.core.trace import Trace, TraceBuilder
@@ -106,41 +107,75 @@ def execute(program: Program, seed: int = 0, policy: str = "random",
             out.append(state)
         return out
 
-    while True:
-        ready = runnable()  # peeks every thread, marking finished ones
-        for state in threads.values():
-            if state.finished and state.pending is None and state.held:
-                raise SchedulerError(
-                    f"thread {state.tid!r} finished holding locks {state.held}")
-        if all(s.finished and s.pending is None for s in threads.values()):
-            break
-        if not ready:
-            blocked = [s.tid for s in threads.values()
-                       if not (s.finished and s.pending is None)]
-            raise SchedulerDeadlockError(
-                f"{program.name}: all live threads blocked: {blocked}")
-        if policy == "random":
-            state = rng.choice(ready)
-        else:
-            if current is None or budget <= 0 or all(s.tid != current for s in ready):
+    # Pure observation (no extra RNG draws, so schedules stay
+    # reproducible across instrumented and seed builds): context
+    # switches and per-thread op counts, published in one batch below.
+    switches = 0
+    per_thread_ops: Dict[Tid, int] = {}
+    last_tid: Optional[Tid] = None
+
+    with obs.span("runtime.execute") as span:
+        while True:
+            ready = runnable()  # peeks every thread, marking finished ones
+            for state in threads.values():
+                if state.finished and state.pending is None and state.held:
+                    raise SchedulerError(
+                        f"thread {state.tid!r} finished holding locks {state.held}")
+            if all(s.finished and s.pending is None for s in threads.values()):
+                break
+            if not ready:
+                blocked = [s.tid for s in threads.values()
+                           if not (s.finished and s.pending is None)]
+                raise SchedulerDeadlockError(
+                    f"{program.name}: all live threads blocked: {blocked}")
+            if policy == "random":
                 state = rng.choice(ready)
-                current = state.tid
-                budget = max(1, int(quantum * (0.5 + rng.random())))
             else:
-                state = next(s for s in ready if s.tid == current)
-            budget -= 1
-        op = state.pending
-        state.pending = None
-        assert op is not None
-        emitted += 1
-        if emitted > max_events:
-            raise SchedulerError(
-                f"{program.name}: exceeded max_events={max_events}")
-        _emit(builder, program, threads, lock_holder, state, op,
-              thread_markers, ended)
-    if thread_markers:
-        builder.end(main_tid)
-    return builder.build()
+                if current is None or budget <= 0 or all(s.tid != current for s in ready):
+                    state = rng.choice(ready)
+                    current = state.tid
+                    budget = max(1, int(quantum * (0.5 + rng.random())))
+                else:
+                    state = next(s for s in ready if s.tid == current)
+                budget -= 1
+            if state.tid != last_tid:
+                if last_tid is not None:
+                    switches += 1
+                last_tid = state.tid
+            per_thread_ops[state.tid] = per_thread_ops.get(state.tid, 0) + 1
+            op = state.pending
+            state.pending = None
+            assert op is not None
+            emitted += 1
+            if emitted > max_events:
+                raise SchedulerError(
+                    f"{program.name}: exceeded max_events={max_events}")
+            _emit(builder, program, threads, lock_holder, state, op,
+                  thread_markers, ended)
+        if thread_markers:
+            builder.end(main_tid)
+        trace = builder.build()
+        span.annotate("events", emitted)
+        span.annotate("switches", switches)
+        span.annotate("threads", len(threads))
+    trace.provenance = {
+        "kind": "scheduler",
+        "program": program.name,
+        "seed": seed,
+        "policy": policy,
+        "quantum": quantum,
+        "thread_markers": thread_markers,
+    }
+    reg = obs.metrics()
+    if reg.enabled:
+        reg.add("runtime.events", emitted)
+        reg.add("runtime.context_switches", switches)
+        reg.gauge("runtime.threads").track_max(len(threads))
+        hist = reg.histogram("runtime.thread_ops",
+                             obs.DEFAULT_SIZE_BUCKETS)
+        for count in per_thread_ops.values():
+            hist.observe(count)
+    return trace
 
 
 def _child_tid(program: Program, name: Target) -> Tid:

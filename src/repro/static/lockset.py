@@ -50,6 +50,7 @@ from typing import (
     Set,
 )
 
+from repro import obs
 from repro.core.events import Event, EventKind, Target, Tid
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
@@ -152,6 +153,19 @@ def analyze_locksets(events: Iterable[Event]) -> LocksetResult:
     intersection, with a sticky early-out once a variable is already a
     confirmed race candidate.
     """
+    with obs.span("static.lockset") as sp:
+        result = _scan(events)
+        sp.annotate("variables", len(result.variables))
+    reg = obs.metrics()
+    if reg.enabled:
+        reg.add("lockset.variables", len(result.variables))
+        for verdict, count in result.counts().items():
+            if count:
+                reg.add(f"lockset.verdict.{verdict.name.lower()}", count)
+    return result
+
+
+def _scan(events: Iterable[Event]) -> LocksetResult:
     states: Dict[Target, _VarState] = {}
     held: Dict[Tid, List[Target]] = {}
     # The loop is the whole cost of the pass; bind the hot enum members

@@ -15,7 +15,7 @@ fork/join edges.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.core.trace import Trace, TraceBuilder
@@ -99,7 +99,15 @@ def random_trace(seed: int, config: Optional[GeneratorConfig] = None) -> Trace:
         for child in tids[1:]:
             builder.join(tids[0], child)
 
-    return builder.build()
+    trace = builder.build()
+    # Stamp how to regenerate this exact trace, so any report or
+    # measurement derived from it is reproducible from its own output.
+    trace.provenance = {
+        "kind": "generator",
+        "seed": seed,
+        "config": asdict(cfg),
+    }
+    return trace
 
 
 def random_traces(count: int, base_seed: int = 0,

@@ -83,7 +83,9 @@ def load_trace(source: Union[str, Path, TextIO], validate: bool = True) -> Trace
     """Parse a text-format trace from a path or open file."""
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as handle:
-            return _read(handle, validate)
+            trace = _read(handle, validate)
+        trace.provenance = {"kind": "file", "path": str(source)}
+        return trace
     return _read(source, validate)
 
 

@@ -59,6 +59,8 @@ class ConstraintResult:
     consecutive_edges: int = 0
     ls_edges: int = 0
     rounds: int = 0
+    #: Cycle searches performed (one closes every convergence round).
+    cycle_checks: int = 0
 
     @property
     def refuted(self) -> bool:
@@ -129,6 +131,7 @@ def add_constraints(graph: ConstraintGraph, trace: Trace,
                 if add(*edge):
                     result.ls_edges += 1
                     changed = True
+        result.cycle_checks += 1
         cycle = graph.find_cycle_reaching(
             {e1.eid, e2.eid},
             region=index.ancestors([e1.eid, e2.eid], include_roots=True))

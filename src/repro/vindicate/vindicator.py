@@ -21,8 +21,9 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro import obs
 from repro.core.events import Event
 from repro.core.exceptions import SanitizerError
 from repro.core.trace import Trace
@@ -32,6 +33,7 @@ from repro.analysis.dc import DCDetector
 from repro.analysis.hb import HBDetector
 from repro.analysis.races import DynamicRace, RaceClass, RaceReport, classify
 from repro.analysis.wcp import WCPDetector
+from repro.obs.schema import ANALYZE_SCHEMA_ID
 from repro.static.lockset import LocksetResult, analyze_locksets, cross_check
 from repro.vindicate.add_constraints import add_constraints
 from repro.vindicate.construct import construct_reordered_trace
@@ -112,38 +114,63 @@ def vindicate_race(
     if index is None:
         index = ReachabilityIndex(graph)
     start = time.perf_counter()
-    constraints = add_constraints(graph, trace, e1, e2,
-                                  use_window=use_window, index=index)
-    try:
-        if constraints.refuted:
-            return Vindication(
-                race=race,
-                verdict=Verdict.NO_RACE,
-                cycle=constraints.cycle,
-                consecutive_edges=constraints.consecutive_edges,
-                ls_constraints=constraints.ls_edges,
-                elapsed_seconds=time.perf_counter() - start,
-            )
-        witness, stats = construct_reordered_trace(
-            graph, trace, e1, e2, policy=policy, seed=seed, index=index)
-        if witness is None:
-            verdict = Verdict.UNKNOWN
-        else:
-            verdict = Verdict.RACE
-            if check:
-                check_witness(trace, witness, e1, e2)
-        return Vindication(
-            race=race,
-            verdict=verdict,
-            witness=witness,
-            consecutive_edges=constraints.consecutive_edges,
-            ls_constraints=constraints.ls_edges,
-            attempts=stats.attempts,
-            elapsed_seconds=time.perf_counter() - start,
-        )
-    finally:
-        for src, dst in reversed(constraints.added_edges):
-            graph.remove_edge(src, dst)
+    with obs.span("vindicate.race") as span:
+        with obs.span("vindicate.add_constraints") as sp:
+            constraints = add_constraints(graph, trace, e1, e2,
+                                          use_window=use_window, index=index)
+            sp.annotate("edges", len(constraints.added_edges))
+            sp.annotate("rounds", constraints.rounds)
+        try:
+            if constraints.refuted:
+                vindication = Vindication(
+                    race=race,
+                    verdict=Verdict.NO_RACE,
+                    cycle=constraints.cycle,
+                    consecutive_edges=constraints.consecutive_edges,
+                    ls_constraints=constraints.ls_edges,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+            else:
+                with obs.span("vindicate.construct") as sp:
+                    witness, stats = construct_reordered_trace(
+                        graph, trace, e1, e2, policy=policy, seed=seed,
+                        index=index)
+                    sp.annotate("attempts", stats.attempts)
+                    sp.annotate("placed", stats.placed_events)
+                if witness is None:
+                    verdict = Verdict.UNKNOWN
+                else:
+                    verdict = Verdict.RACE
+                    if check:
+                        with obs.span("vindicate.check_witness"):
+                            check_witness(trace, witness, e1, e2)
+                vindication = Vindication(
+                    race=race,
+                    verdict=verdict,
+                    witness=witness,
+                    consecutive_edges=constraints.consecutive_edges,
+                    ls_constraints=constraints.ls_edges,
+                    attempts=stats.attempts,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+        finally:
+            for src, dst in reversed(constraints.added_edges):
+                graph.remove_edge(src, dst)
+        span.annotate("verdict_" + vindication.verdict.name.lower(), 1)
+    reg = obs.metrics()
+    if reg.enabled:
+        reg.add("vindicate.races_checked", 1)
+        reg.add(f"vindicate.verdict.{vindication.verdict.name.lower()}", 1)
+        reg.add("vindicate.constraints.consecutive",
+                vindication.consecutive_edges)
+        reg.add("vindicate.constraints.ls", vindication.ls_constraints)
+        reg.add("vindicate.rounds", constraints.rounds)
+        reg.add("vindicate.cycle_checks", constraints.cycle_checks)
+        reg.add("vindicate.construct_attempts", vindication.attempts)
+        if vindication.attempts > 1:
+            reg.add("vindicate.construct_retries", vindication.attempts - 1)
+        reg.histogram("vindicate.seconds").observe(vindication.elapsed_seconds)
+    return vindication
 
 
 @dataclass
@@ -165,6 +192,13 @@ class VindicatorReport:
     #: Lockset pre-analysis verdicts (set when the pipeline ran with
     #: ``prefilter`` or ``sanitize``; None otherwise).
     lockset: Optional[LocksetResult] = None
+    #: Where the analyzed trace came from (generator/scheduler seed and
+    #: config) — copied from :attr:`repro.core.trace.Trace.provenance`
+    #: so a measured run is reproducible from its own report.
+    provenance: Dict[str, object] = field(default_factory=dict)
+    #: Metrics snapshot captured when the pipeline ran with
+    #: observability enabled; None otherwise.
+    obs: Optional[Dict[str, object]] = None
 
     @property
     def dc_only_races(self) -> List[DynamicRace]:
@@ -187,6 +221,84 @@ class VindicatorReport:
         for v in self.vindications:
             lines.append(f"  {v}")
         return "\n".join(lines)
+
+    def to_document(self) -> Dict[str, object]:
+        """The report as a ``vindicator.analyze/1`` JSON document.
+
+        The shape is pinned by
+        :data:`repro.obs.schema.ANALYZE_SCHEMA` and documented in
+        ``docs/OBSERVABILITY.md``; this is the stable machine-readable
+        surface that ``vindicator analyze --json`` emits and that
+        benchmarks/CI consume instead of scraping human-format stdout.
+        """
+        lockset_doc: Optional[Dict[str, object]] = None
+        if self.lockset is not None:
+            lockset_doc = {
+                "summary": self.lockset.summary(),
+                "verdicts": {verdict.value: count for verdict, count
+                             in self.lockset.counts().items()},
+            }
+        return {
+            "schema": ANALYZE_SCHEMA_ID,
+            "trace": {
+                "events": len(self.trace),
+                "threads": list(self.trace.threads),
+                "variables": len(self.trace.variables()),
+                "provenance": dict(self.provenance),
+            },
+            "analyses": {
+                "hb": _analysis_doc(self.hb),
+                "wcp": _analysis_doc(self.wcp),
+                "dc": _analysis_doc(self.dc),
+            },
+            "race_classes": {str(cls): len(races) for cls, races
+                             in self.dc.by_class().items()},
+            "vindications": [_vindication_doc(v) for v in self.vindications],
+            "lockset": lockset_doc,
+            "timing": {
+                "analysis_seconds": self.analysis_seconds,
+                "vindication_seconds": self.vindication_seconds,
+            },
+            "metrics": self.obs,
+        }
+
+
+def _event_doc(e: Event) -> Dict[str, object]:
+    return {"eid": e.eid, "tid": e.tid, "kind": e.kind.value,
+            "target": e.target, "loc": e.loc}
+
+
+def _race_doc(race: DynamicRace) -> Dict[str, object]:
+    return {
+        "first": _event_doc(race.first),
+        "second": _event_doc(race.second),
+        "relation": race.relation,
+        "race_class": str(race.race_class) if race.race_class else None,
+        "distance": race.event_distance,
+    }
+
+
+def _analysis_doc(report: RaceReport) -> Dict[str, object]:
+    return {
+        "relation": report.relation,
+        "static_races": report.static_count,
+        "dynamic_races": report.dynamic_count,
+        "races": [_race_doc(r) for r in report.races],
+        "counters": dict(report.counters),
+    }
+
+
+def _vindication_doc(v: Vindication) -> Dict[str, object]:
+    return {
+        "race": _race_doc(v.race),
+        "verdict": str(v.verdict),
+        "ls_constraints": v.ls_constraints,
+        "consecutive_edges": v.consecutive_edges,
+        "attempts": v.attempts,
+        "elapsed_seconds": v.elapsed_seconds,
+        "witness_events": len(v.witness) if v.witness is not None else None,
+        "cycle": list(v.cycle) if v.cycle is not None else None,
+    }
 
 
 class Vindicator:
@@ -231,6 +343,15 @@ class Vindicator:
 
     def run(self, trace: Trace) -> VindicatorReport:
         """Analyze ``trace`` end to end."""
+        with obs.span("pipeline.run") as pipeline_span:
+            report = self._run(trace, pipeline_span)
+        reg = obs.metrics()
+        if reg.enabled:
+            # Snapshot *after* every phase has published its batch.
+            report.obs = reg.snapshot()
+        return report
+
+    def _run(self, trace: Trace, pipeline_span: obs.AnySpan) -> VindicatorReport:
         lockset: Optional[LocksetResult] = None
         candidates = None
         if self.prefilter or self.sanitize:
@@ -243,24 +364,28 @@ class Vindicator:
         for detector in (hb, wcp, dc):
             detector.transitive_force = self.transitive_force
         start = time.perf_counter()
-        for detector in (hb, wcp, dc):
-            detector.begin_trace(trace)
-        for event in trace:
-            hb.handle(event)
-            wcp.handle(event)
-            dc.handle(event)
-        hb_report = hb.finish()
-        wcp_report = wcp.finish()
-        dc_report = dc.finish()
+        with obs.span("pipeline.analysis") as sp:
+            for detector in (hb, wcp, dc):
+                detector.begin_trace(trace)
+            for event in trace:
+                hb.handle(event)
+                wcp.handle(event)
+                dc.handle(event)
+            hb_report = hb.finish()
+            wcp_report = wcp.finish()
+            dc_report = dc.finish()
+            sp.annotate("events", len(trace))
         analysis_seconds = time.perf_counter() - start
 
-        classified: List[DynamicRace] = []
-        for race in dc_report.races:
-            hb_unordered = race.first.eid in hb.racing_at.get(race.second.eid, ())
-            wcp_unordered = race.first.eid in wcp.racing_at.get(race.second.eid, ())
-            race_class = classify((not hb_unordered, not wcp_unordered))
-            classified.append(replace(race, race_class=race_class))
-        dc_report.races = classified
+        with obs.span("pipeline.classify") as sp:
+            classified: List[DynamicRace] = []
+            for race in dc_report.races:
+                hb_unordered = race.first.eid in hb.racing_at.get(race.second.eid, ())
+                wcp_unordered = race.first.eid in wcp.racing_at.get(race.second.eid, ())
+                race_class = classify((not hb_unordered, not wcp_unordered))
+                classified.append(replace(race, race_class=race_class))
+            dc_report.races = classified
+            sp.annotate("dc_races", len(classified))
 
         if self.sanitize:
             assert lockset is not None
@@ -272,20 +397,30 @@ class Vindicator:
 
         report = VindicatorReport(
             trace=trace, hb=hb_report, wcp=wcp_report, dc=dc_report,
-            analysis_seconds=analysis_seconds, lockset=lockset)
+            analysis_seconds=analysis_seconds, lockset=lockset,
+            provenance=dict(trace.provenance))
         start = time.perf_counter()
         index = ReachabilityIndex(dc.graph)
-        for race in classified:
-            if not self.vindicate_all and race.race_class is not RaceClass.DC_ONLY:
-                continue
-            report.vindications.append(
-                vindicate_race(dc.graph, trace, race, policy=self.policy,
-                               check=self.check_witnesses,
-                               use_window=self.use_window, index=index))
+        with obs.span("pipeline.vindicate") as sp:
+            for race in classified:
+                if not self.vindicate_all and race.race_class is not RaceClass.DC_ONLY:
+                    continue
+                report.vindications.append(
+                    vindicate_race(dc.graph, trace, race, policy=self.policy,
+                                   check=self.check_witnesses,
+                                   use_window=self.use_window, index=index))
+            sp.annotate("races", len(report.vindications))
         report.vindication_seconds = time.perf_counter() - start
         # Surface the reachability engine's cache behaviour on the DC
         # report (Table 4 analog reports these alongside timing).
         for counter, value in index.stats().items():
             if value:
                 dc.bump(counter, value)
+        reg = obs.metrics()
+        if reg.enabled:
+            for name, value in index.stats().items():
+                reg.add(f"graph.{name}", value)
+            for name, value in dc.graph.stats().items():
+                reg.gauge(f"graph.{name}").track_max(value)
+        pipeline_span.annotate("events", len(trace))
         return report

@@ -1,0 +1,137 @@
+"""Unit tests for the obs exporters (JSONL stream, snapshot, Prometheus)."""
+
+import io
+import json
+
+from repro import obs
+from repro.obs.export import (
+    JsonlWriter,
+    meta_record,
+    metrics_record,
+    snapshot_document,
+    span_record,
+    to_prometheus,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import (
+    OBS_SNAPSHOT_SCHEMA_ID,
+    OBS_STREAM_SCHEMA_ID,
+    validate_jsonl_lines,
+    validate_snapshot,
+)
+from repro.obs.spans import Tracer
+
+
+def _sample_registry():
+    reg = MetricsRegistry()
+    reg.add("analysis.dc.events", 100)
+    reg.gauge("graph.nodes").set(12)
+    reg.histogram("vindicate.seconds", buckets=(0.1, 1.0)).observe(0.5)
+    return reg
+
+
+def _sample_tracer(on_close=None):
+    tracer = Tracer(sample_memory=False, on_close=on_close)
+    with tracer.span("root") as root:
+        root.annotate("events", 100)
+        with tracer.span("child"):
+            pass
+    return tracer
+
+
+class TestStreamRecords:
+    def test_meta_record_shape(self):
+        rec = meta_record(command="analyze t.txt",
+                          provenance={"kind": "file", "path": "t.txt"})
+        assert rec["type"] == "meta"
+        assert rec["schema"] == OBS_STREAM_SCHEMA_ID
+        assert rec["provenance"] == {"kind": "file", "path": "t.txt"}
+
+    def test_streamed_lines_validate_and_carry_depth(self):
+        buf = io.StringIO()
+        writer = JsonlWriter(buf)
+        reg = _sample_registry()
+        writer.write(meta_record(command="test"))
+        _sample_tracer(on_close=writer.on_close)
+        writer.write(metrics_record(reg))
+        lines = buf.getvalue().splitlines()
+        counts = validate_jsonl_lines(lines)
+        assert counts == {"meta": 1, "span": 2, "metrics": 1}
+        spans = [json.loads(x) for x in lines if json.loads(x)["type"] == "span"]
+        # Post-order: child (depth 1) closes before root (depth 0).
+        assert [(s["name"], s["depth"]) for s in spans] == [
+            ("child", 1), ("root", 0)]
+
+    def test_span_record_includes_counts(self):
+        tracer = _sample_tracer()
+        rec = span_record(tracer.roots[0], depth=0)
+        assert rec["counts"] == {"events": 100}
+
+
+class TestSnapshot:
+    def test_snapshot_document_validates(self):
+        doc = snapshot_document(_sample_registry(), _sample_tracer(),
+                                meta={"command": "test"})
+        assert doc["schema"] == OBS_SNAPSHOT_SCHEMA_ID
+        validate_snapshot(doc)
+        assert doc["spans"][0]["children"][0]["name"] == "child"
+
+
+class TestPrometheus:
+    def test_counter_gauge_histogram_exposition(self):
+        text = to_prometheus(_sample_registry())
+        assert "# TYPE vindicator_analysis_dc_events counter" in text
+        assert "vindicator_analysis_dc_events 100" in text
+        assert "# TYPE vindicator_graph_nodes gauge" in text
+        assert "vindicator_graph_nodes 12" in text
+        # Histogram buckets are cumulative with a +Inf overflow.
+        assert 'vindicator_vindicate_seconds_bucket{le="0.1"} 0' in text
+        assert 'vindicator_vindicate_seconds_bucket{le="1"} 1' in text
+        assert 'vindicator_vindicate_seconds_bucket{le="+Inf"} 1' in text
+        assert "vindicator_vindicate_seconds_count 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestWriteMetrics:
+    def test_dispatch_by_extension(self, tmp_path):
+        reg, tracer = _sample_registry(), _sample_tracer()
+
+        json_path = tmp_path / "out.json"
+        write_metrics(str(json_path), reg, tracer)
+        validate_snapshot(json.loads(json_path.read_text()))
+
+        prom_path = tmp_path / "out.prom"
+        write_metrics(str(prom_path), reg, tracer)
+        assert "# TYPE" in prom_path.read_text()
+
+        jsonl_path = tmp_path / "out.jsonl"
+        write_metrics(str(jsonl_path), reg, tracer,
+                      meta={"command": "test"})
+        counts = validate_jsonl_lines(
+            jsonl_path.read_text().splitlines())
+        assert counts["span"] == 2
+
+
+class TestSessionExport:
+    def test_jsonl_session_streams(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs.session(metrics_path=str(path),
+                         meta={"command": "unit"}) as handle:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+            handle.registry.add("a.b", 1)
+        counts = validate_jsonl_lines(path.read_text().splitlines())
+        assert counts == {"meta": 1, "span": 2, "metrics": 1}
+        last = json.loads(path.read_text().splitlines()[-1])
+        assert last["metrics"]["counters"] == {"a.b": 1}
+
+    def test_json_session_snapshots(self, tmp_path):
+        path = tmp_path / "run.json"
+        with obs.session(metrics_path=str(path)):
+            with obs.span("outer"):
+                pass
+        validate_snapshot(json.loads(path.read_text()))

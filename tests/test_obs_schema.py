@@ -1,0 +1,163 @@
+"""Unit tests for the dependency-free schema validator (repro.obs.schema)."""
+
+import pytest
+
+from repro.obs.schema import (
+    SchemaError,
+    validate,
+    validate_jsonl_lines,
+    validate_jsonl_record,
+    validate_snapshot,
+)
+
+
+class TestValidator:
+    def test_type_checks(self):
+        validate(3, {"type": "integer"})
+        validate(3.5, {"type": "number"})
+        validate(3, {"type": "number"})  # ints are numbers
+        with pytest.raises(SchemaError):
+            validate("x", {"type": "integer"})
+
+    def test_bool_is_not_an_integer(self):
+        # JSON distinguishes true from 1; bool is an int subclass in
+        # Python, so the validator must special-case it.
+        with pytest.raises(SchemaError):
+            validate(True, {"type": "integer"})
+        validate(True, {"type": "boolean"})
+
+    def test_union_types(self):
+        schema = {"type": ["string", "null"]}
+        validate("x", schema)
+        validate(None, schema)
+        with pytest.raises(SchemaError):
+            validate(3, schema)
+
+    def test_required_and_additional_properties(self):
+        schema = {"type": "object", "required": ["a"],
+                  "additionalProperties": False,
+                  "properties": {"a": {"type": "integer"}}}
+        validate({"a": 1}, schema)
+        with pytest.raises(SchemaError, match="missing required key"):
+            validate({}, schema)
+        with pytest.raises(SchemaError, match="unexpected keys"):
+            validate({"a": 1, "b": 2}, schema)
+
+    def test_additional_properties_schema(self):
+        schema = {"type": "object",
+                  "additionalProperties": {"type": "number"}}
+        validate({"x": 1, "y": 2.5}, schema)
+        with pytest.raises(SchemaError):
+            validate({"x": "not a number"}, schema)
+
+    def test_items_and_enum(self):
+        validate([1, 2], {"type": "array", "items": {"type": "integer"}})
+        with pytest.raises(SchemaError, match=r"\[1\]"):
+            validate([1, "x"], {"type": "array",
+                                "items": {"type": "integer"}})
+        with pytest.raises(SchemaError, match="enum"):
+            validate("c", {"enum": ["a", "b"]})
+
+    def test_ref_recursion(self):
+        node = {"type": "object", "required": ["name"],
+                "properties": {"name": {"type": "string"},
+                               "kids": {"type": "array",
+                                        "items": {"$ref": "node"}}}}
+        defs = {"node": node}
+        validate({"name": "a", "kids": [{"name": "b", "kids": []}]},
+                 node, defs=defs)
+        with pytest.raises(SchemaError, match=r"kids\[0\]"):
+            validate({"name": "a", "kids": [{"kids": []}]}, node, defs=defs)
+
+    def test_unresolvable_ref(self):
+        with pytest.raises(SchemaError, match="unresolvable"):
+            validate({}, {"$ref": "nowhere"})
+
+    def test_error_names_the_path(self):
+        schema = {"type": "object",
+                  "properties": {"a": {"type": "object",
+                                       "properties": {
+                                           "b": {"type": "integer"}}}}}
+        with pytest.raises(SchemaError) as err:
+            validate({"a": {"b": "x"}}, schema)
+        assert err.value.path == "$.a.b"
+
+
+class TestStreamGrammar:
+    META = '{"type":"meta","schema":"vindicator.obs/1"}'
+    SPAN = '{"type":"span","name":"s","elapsed_seconds":0.1,"depth":0}'
+    METRICS = ('{"type":"metrics","metrics":'
+               '{"counters":{},"gauges":{},"histograms":{}}}')
+
+    def test_valid_stream(self):
+        counts = validate_jsonl_lines([self.META, self.SPAN, self.METRICS])
+        assert counts == {"meta": 1, "span": 1, "metrics": 1}
+
+    def test_blank_lines_are_skipped(self):
+        validate_jsonl_lines([self.META, "", self.METRICS, "  "])
+
+    def test_must_start_with_meta(self):
+        with pytest.raises(SchemaError, match="first record"):
+            validate_jsonl_lines([self.SPAN, self.METRICS])
+
+    def test_must_end_with_exactly_one_metrics(self):
+        with pytest.raises(SchemaError, match="metrics"):
+            validate_jsonl_lines([self.META, self.SPAN])
+        with pytest.raises(SchemaError, match="metrics"):
+            validate_jsonl_lines([self.META, self.METRICS, self.METRICS])
+        with pytest.raises(SchemaError, match="metrics"):
+            validate_jsonl_lines([self.META, self.METRICS, self.SPAN])
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(SchemaError, match="empty"):
+            validate_jsonl_lines([])
+
+    def test_invalid_json_names_the_line(self):
+        with pytest.raises(SchemaError, match="f:2"):
+            validate_jsonl_lines([self.META, "{nope"], source="f")
+
+    def test_unknown_record_type(self):
+        with pytest.raises(SchemaError, match="unknown record type"):
+            validate_jsonl_record({"type": "mystery"})
+
+    def test_span_record_rejects_extra_keys(self):
+        with pytest.raises(SchemaError, match="unexpected keys"):
+            validate_jsonl_record(
+                {"type": "span", "name": "s", "elapsed_seconds": 0.1,
+                 "depth": 0, "surprise": 1})
+
+
+class TestSnapshotSchema:
+    def test_minimal_snapshot(self):
+        validate_snapshot({
+            "schema": "vindicator.obs-snapshot/1",
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+            "spans": [],
+        })
+
+    def test_wrong_schema_tag_rejected(self):
+        with pytest.raises(SchemaError, match="enum"):
+            validate_snapshot({
+                "schema": "vindicator.obs-snapshot/2",
+                "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+                "spans": [],
+            })
+
+    def test_nested_span_tree_validates(self):
+        validate_snapshot({
+            "schema": "vindicator.obs-snapshot/1",
+            "metrics": {"counters": {"a": 1}, "gauges": {},
+                        "histograms": {"h": {"buckets": [1.0],
+                                             "counts": [0, 1],
+                                             "sum": 2.0, "count": 1}}},
+            "spans": [{"name": "root", "elapsed_seconds": 0.5,
+                       "children": [{"name": "kid",
+                                     "elapsed_seconds": 0.25}]}],
+        })
+        with pytest.raises(SchemaError, match=r"children\[0\]"):
+            validate_snapshot({
+                "schema": "vindicator.obs-snapshot/1",
+                "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+                "spans": [{"name": "root", "elapsed_seconds": 0.5,
+                           "children": [{"elapsed_seconds": 0.25}]}],
+            })
