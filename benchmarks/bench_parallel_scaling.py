@@ -1,0 +1,136 @@
+"""Scaling benchmark — ``Vindicator(jobs=N)`` vs. the serial path.
+
+The paper runs its three detectors simultaneously (Section 6.1) and
+vindicates each DC-race independently offline (Section 6.2);
+:mod:`repro.parallel` reproduces that with a process pool. This
+benchmark runs the avrora analog — the workload with the largest
+DC-race population — through the full pipeline at ``jobs`` = 1, 2, 4,
+checks the reports stay bit-identical (the engine's core contract), and
+records wall-clock speedups in ``benchmarks/results/parallel_scaling.txt``.
+
+Speedup assertions are gated on ``os.cpu_count()``: process-level
+parallelism cannot beat the serial path without spare cores, and the
+results file records the core count so numbers are never read out of
+context. The ``jobs=1`` path must stay within 5% of a direct serial
+``Vindicator`` run — it *is* the same code path; the guard catches any
+accidental parallel-engine overhead leaking into the default.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.timing import best_of
+from repro.runtime import execute
+from repro.runtime.workloads import WORKLOADS
+from repro.vindicate.vindicator import Vindicator
+
+from harness import write_result
+
+#: avrora at this scale yields ~145 DC races (seed 0) — comfortably past
+#: the >=8 the fan-out needs, and a vindication phase (~1.4s serial)
+#: large enough to dwarf pool start-up.
+SCALE = 1.0
+SEED = 0
+MIN_DC_RACES = 8
+
+JOB_COUNTS = (1, 2, 4)
+#: Required speedup at each worker count, enforced only when the host
+#: has at least that many cores.
+SPEEDUP_FLOOR = {2: 1.3, 4: 2.0}
+#: jobs=1 dispatches straight to the serial code; allow 5% noise.
+SERIAL_OVERHEAD_CEILING = 1.05
+
+
+def _normalize(doc):
+    doc = json.loads(json.dumps(doc))
+    doc["timing"] = None
+    doc["metrics"] = None
+    doc["parallel"] = None
+    for vindication in doc.get("vindications", []):
+        vindication["elapsed_seconds"] = None
+    for analysis in doc.get("analyses", {}).values():
+        analysis["counters"] = {
+            key: value for key, value in analysis.get("counters", {}).items()
+            if not key.startswith("reach_")
+        }
+    return doc
+
+
+@pytest.fixture(scope="module")
+def avrora_trace():
+    return execute(WORKLOADS["avrora"](scale=SCALE), seed=SEED)
+
+
+def test_parallel_scaling(avrora_trace):
+    cores = os.cpu_count() or 1
+
+    reports = {}
+    times = {}
+    for jobs in JOB_COUNTS:
+        vindicator = Vindicator(vindicate_all=True, jobs=jobs)
+        reports[jobs] = vindicator.run(avrora_trace)
+        times[jobs] = best_of(lambda: Vindicator(
+            vindicate_all=True, jobs=jobs).run(avrora_trace))
+
+    dc_races = len(reports[1].dc.races)
+    assert dc_races >= MIN_DC_RACES, (
+        f"workload too small to exercise the fan-out: {dc_races} DC races")
+
+    # The contract before the speedup: every worker count produces the
+    # bit-identical document modulo the documented fields.
+    reference = _normalize(reports[1].to_document())
+    for jobs in JOB_COUNTS[1:]:
+        assert _normalize(reports[jobs].to_document()) == reference
+
+    serial_time = best_of(
+        lambda: Vindicator(vindicate_all=True).run(avrora_trace))
+    overhead = times[1] / serial_time
+
+    lines = [
+        "Parallel scaling: avrora analog "
+        f"(scale={SCALE}, seed={SEED}, {len(avrora_trace)} events, "
+        f"{dc_races} DC races, vindicate_all)",
+        f"host: {cores} cpu core(s) — speedup floors "
+        f"{SPEEDUP_FLOOR} enforced only with that many cores",
+        "",
+        f"{'configuration':24s} | {'time (s)':>9s} | {'speedup':>8s}",
+        "-" * 49,
+        f"{'serial (no engine)':24s} | {serial_time:9.3f} | {'1.00x':>8s}",
+    ]
+    for jobs in JOB_COUNTS:
+        speedup = serial_time / times[jobs]
+        lines.append(f"{f'jobs={jobs}':24s} | {times[jobs]:9.3f} | "
+                     f"{speedup:7.2f}x")
+    lines += [
+        "",
+        f"jobs=1 overhead vs serial: {overhead:.3f}x "
+        f"(ceiling {SERIAL_OVERHEAD_CEILING}x)",
+        "reports bit-identical across all job counts "
+        "(modulo timing/metrics/parallel.jobs/reach_* counters)",
+    ]
+    write_result("parallel_scaling.txt", "\n".join(lines))
+
+    assert overhead <= SERIAL_OVERHEAD_CEILING, (
+        f"jobs=1 is {overhead:.2f}x the plain serial path")
+    for jobs, floor in SPEEDUP_FLOOR.items():
+        if cores >= jobs:
+            speedup = serial_time / times[jobs]
+            assert speedup >= floor, (
+                f"jobs={jobs} only {speedup:.2f}x on a {cores}-core host")
+
+
+def test_pool_startup_cost_is_bounded(avrora_trace):
+    """The packed trace + CSR graph keep worker priming cheap: the whole
+    jobs=2 pipeline must cost less than 3x the serial pipeline even on a
+    single-core host (where the parallel path cannot win, only lose)."""
+    serial = best_of(
+        lambda: Vindicator(vindicate_all=True).run(avrora_trace))
+    parallel = best_of(
+        lambda: Vindicator(vindicate_all=True, jobs=2).run(avrora_trace))
+    assert parallel < serial * 3.0, (
+        f"jobs=2 costs {parallel / serial:.2f}x serial — "
+        "worker priming is too expensive")

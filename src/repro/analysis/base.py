@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Collection, Dict, FrozenSet, List, Optional, Tuple
+from typing import Collection, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.core.events import Event, EventKind, Target, Tid
@@ -41,8 +41,12 @@ class AccessHistory:
     ones (Section 6.1, "Handling DC-races").
     """
 
-    last_write: Dict[Tid, Tuple[Event, VectorClock]] = field(default_factory=dict)
-    last_read: Dict[Tid, Tuple[Event, VectorClock]] = field(default_factory=dict)
+    last_write: Dict[Tid, Tuple[Event, Optional[VectorClock]]] = field(default_factory=dict)
+    last_read: Dict[Tid, Tuple[Event, Optional[VectorClock]]] = field(default_factory=dict)
+    #: Every thread that has accessed the variable so far. While this
+    #: stays within a single thread no racing prior can exist, so
+    #: :meth:`Detector.check_access` skips the scan outright.
+    tids: Set[Tid] = field(default_factory=set)
 
 
 class Detector(abc.ABC):
@@ -76,6 +80,14 @@ class Detector(abc.ABC):
             None if prefilter is None else frozenset(prefilter))
         self._filter_skips = 0
         self._filter_checks = 0
+        #: Per-thread memo of the last clock snapshot taken by
+        #: :meth:`check_access`: ``tid -> (clock object, snapshot,
+        #: version at copy time)``. While the clock object is unchanged
+        #: and its :attr:`~repro.core.vectorclock.VectorClock.version`
+        #: still matches, the previous snapshot is reused instead of
+        #: copied again (self-advances do not bump the version; see
+        #: ``VectorClock.advance`` for why that is exact).
+        self._snap_cache: Dict[Tid, Tuple[VectorClock, VectorClock, int]] = {}
         #: Vector-clock joins performed (batched into the metrics
         #: registry at :meth:`finish`; a plain int so the per-join cost
         #: is one increment whether or not observability is on).
@@ -127,6 +139,7 @@ class Detector(abc.ABC):
         self.racing_at = {}
         self._filter_skips = 0
         self._filter_checks = 0
+        self._snap_cache = {}
         self._n_joins = 0
 
     def finish(self) -> RaceReport:
@@ -258,40 +271,62 @@ class Detector(abc.ABC):
                 return None
             self._filter_checks += 1
         assert self.trace is not None
-        history = self._history.setdefault(e.target, AccessHistory())
-        racing: List[Tuple[Event, VectorClock]] = []
-        local_time = self.trace.local_time
-        for prior, snapshot in history.last_write.values():
-            if prior.tid != e.tid and local_time[prior.eid] > clock.get(prior.tid):
-                racing.append((prior, snapshot))
-        if e.is_write:
-            for prior, snapshot in history.last_read.values():
-                if prior.tid != e.tid and local_time[prior.eid] > clock.get(prior.tid):
-                    racing.append((prior, snapshot))
+        tid = e.tid
+        history = self._history.get(e.target)
+        if history is None:
+            history = self._history[e.target] = AccessHistory()
 
         race: Optional[DynamicRace] = None
-        if racing:
-            self.racing_at[e.eid] = frozenset(p.eid for p, _ in racing)
-            shortest = max((p for p, _ in racing), key=lambda p: p.eid)
-            race = DynamicRace(first=shortest, second=e, relation=self.relation)
-            assert self.report is not None
-            self.report.races.append(race)
-            if self.force_order:
-                for prior, snapshot in racing:
-                    if clock.get(prior.tid) < local_time[prior.eid]:
-                        clock.set(prior.tid, local_time[prior.eid])
-                        if self.transitive_force:
-                            # The prior access itself plus everything
-                            # ordered before it.
-                            clock.join(snapshot)
-                            self._n_joins += 1
-                        self.on_forced_order(prior, e)
+        tids = history.tids
+        if tids and (len(tids) > 1 or tid not in tids):
+            # Some other thread has accessed this variable, so a racing
+            # prior is possible — scan the history. (Single-threaded-so-
+            # far variables skip straight to the bookkeeping below.)
+            local_time = self.trace.local_time
+            clock_get = clock.get
+            racing: List[Tuple[Event, Optional[VectorClock]]] = []
+            for prior, snapshot in history.last_write.values():
+                if prior.tid != tid and local_time[prior.eid] > clock_get(prior.tid):
+                    racing.append((prior, snapshot))
+            if e.is_write:
+                for prior, snapshot in history.last_read.values():
+                    if prior.tid != tid and local_time[prior.eid] > clock_get(prior.tid):
+                        racing.append((prior, snapshot))
 
-        snapshot = clock.copy()
-        if e.is_write:
-            history.last_write[e.tid] = (e, snapshot)
+            if racing:
+                self.racing_at[e.eid] = frozenset(p.eid for p, _ in racing)
+                shortest = max((p for p, _ in racing), key=lambda p: p.eid)
+                race = DynamicRace(first=shortest, second=e, relation=self.relation)
+                assert self.report is not None
+                self.report.races.append(race)
+                if self.force_order:
+                    for prior, snapshot in racing:
+                        if clock_get(prior.tid) < local_time[prior.eid]:
+                            clock.set(prior.tid, local_time[prior.eid])
+                            if self.transitive_force and snapshot is not None:
+                                # The prior access itself plus everything
+                                # ordered before it.
+                                clock.join(snapshot)
+                                self._n_joins += 1
+                            self.on_forced_order(prior, e)
+
+        snapshot2: Optional[VectorClock]
+        if self.force_order and self.transitive_force:
+            cached = self._snap_cache.get(tid)
+            if cached is not None and cached[0] is clock and cached[2] == clock.version:
+                snapshot2 = cached[1]
+            else:
+                snapshot2 = clock.copy()
+                self._snap_cache[tid] = (clock, snapshot2, clock.version)
         else:
-            history.last_read[e.tid] = (e, snapshot)
+            # Snapshots are consumed only by transitive force-ordering;
+            # when that can never happen, skip the copy entirely.
+            snapshot2 = None
+        tids.add(tid)
+        if e.is_write:
+            history.last_write[tid] = (e, snapshot2)
+        else:
+            history.last_read[tid] = (e, snapshot2)
         return race
 
     def bump(self, counter: str, amount: int = 1) -> None:

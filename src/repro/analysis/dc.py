@@ -95,7 +95,7 @@ class DCDetector(Detector):
             clock = VectorClock()
             self._clocks[e.tid] = clock
         assert self.trace is not None
-        clock.set(e.tid, self.trace.local_time[e.eid])
+        clock.advance(e.tid, self.trace.local_time[e.eid])
         if self.build_graph:
             prev = self._last_event.get(e.tid)
             if prev is not None:

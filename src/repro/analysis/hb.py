@@ -51,7 +51,7 @@ class HBDetector(Detector):
             clock = VectorClock()
             self._clocks[e.tid] = clock
         assert self.trace is not None
-        clock.set(e.tid, self.trace.local_time[e.eid])
+        clock.advance(e.tid, self.trace.local_time[e.eid])
         parent = self._pending_fork.pop(e.tid, None)
         if parent is not None:
             clock.join(parent)

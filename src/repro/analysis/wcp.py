@@ -81,7 +81,7 @@ class WCPDetector(Detector):
             self._p[e.tid] = VectorClock()
         p = self._p[e.tid]
         assert self.trace is not None
-        h.set(e.tid, self.trace.local_time[e.eid])
+        h.advance(e.tid, self.trace.local_time[e.eid])
         # P deliberately does not carry the thread's own program order;
         # the race check treats same-thread priors as PO-ordered.
         pending = self._pending_fork.pop(e.tid, None)

@@ -117,7 +117,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     vindicator = Vindicator(vindicate_all=args.vindicate_all,
                             policy=args.policy,
                             prefilter=args.prefilter,
-                            sanitize=args.sanitize)
+                            sanitize=args.sanitize,
+                            jobs=args.jobs)
     return _run_and_print(vindicator, trace, args.witness,
                           as_json=args.json)
 
@@ -175,7 +176,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
               f"events ({stats.hit_rate:.0%})")
     vindicator = Vindicator(vindicate_all=args.vindicate_all,
                             prefilter=args.prefilter,
-                            sanitize=args.sanitize)
+                            sanitize=args.sanitize,
+                            jobs=args.jobs)
     return _run_and_print(vindicator, trace, args.witness,
                           as_json=args.json)
 
@@ -234,7 +236,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             meta["provenance"] = dict(trace.provenance)
             vindicator = Vindicator(vindicate_all=args.vindicate_all,
                                     prefilter=args.prefilter,
-                                    sanitize=args.sanitize)
+                                    sanitize=args.sanitize,
+                                    jobs=args.jobs)
             try:
                 vindicator.run(trace)
             except SanitizerError as exc:
@@ -269,6 +272,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cross-check detector races against the lockset "
                               "pre-analysis; exit 1 on violation")
 
+    def add_jobs_flag(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="run analysis and vindication across N worker "
+                              "processes; reports stay bit-identical to "
+                              "--jobs 1 (default: 1, fully serial)")
+
     analyze = sub.add_parser("analyze", help="analyze a text-format trace file")
     analyze.add_argument("trace", help="path to the trace file")
     analyze.add_argument("--vindicate-all", action="store_true",
@@ -281,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the vindicator.analyze/1 JSON document "
                               "instead of the human-readable report")
     add_static_flags(analyze)
+    add_jobs_flag(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     lint = sub.add_parser(
@@ -308,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit the vindicator.analyze/1 JSON document "
                                "instead of the human-readable report")
     add_static_flags(workload)
+    add_jobs_flag(workload)
     workload.set_defaults(func=_cmd_workload)
 
     profile = sub.add_parser(
@@ -334,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also export metrics to PATH (same formats "
                               "as the global --metrics flag)")
     add_static_flags(profile)
+    add_jobs_flag(profile)
     profile.set_defaults(func=_cmd_profile)
     return parser
 

@@ -28,10 +28,18 @@ class VectorClock:
     (``other <= self`` via :meth:`dominates`), and copying.
     """
 
-    __slots__ = ("_clocks",)
+    __slots__ = ("_clocks", "version")
 
     def __init__(self, clocks: Optional[Mapping[Tid, int]] = None):
         self._clocks: Dict[Tid, int] = dict(clocks) if clocks else {}
+        #: Bumped on every mutation except :meth:`advance`. Snapshot
+        #: caches (``Detector.check_access``) compare versions to decide
+        #: whether a previously copied snapshot still equals this clock
+        #: on every *foreign* component; ``advance`` is exempt because
+        #: it only raises the owning thread's own component, which every
+        #: snapshot consumer re-derives exactly (see the soundness note
+        #: on :meth:`advance`).
+        self.version: int = 0
 
     # ------------------------------------------------------------------
     # Component access
@@ -42,6 +50,23 @@ class VectorClock:
 
     def set(self, tid: Tid, time: int) -> None:
         """Set the component for ``tid``. Setting 0 removes the entry."""
+        self.version += 1
+        if time:
+            self._clocks[tid] = time
+        else:
+            self._clocks.pop(tid, None)
+
+    def advance(self, tid: Tid, time: int) -> None:
+        """Set ``tid``'s component without bumping :attr:`version`.
+
+        Only for the per-event self-advance of a thread's *own*
+        component in a detector's per-thread clock ``C_t``. Soundness of
+        leaving ``version`` unchanged: ``check_access`` consumers of a
+        cached snapshot always overwrite the owner's component with the
+        prior event's exact local time *before* joining, so a snapshot
+        that is stale only in the owner's own (monotonically advanced)
+        component joins to the identical result.
+        """
         if time:
             self._clocks[tid] = time
         else:
@@ -49,6 +74,7 @@ class VectorClock:
 
     def increment(self, tid: Tid) -> int:
         """Advance ``tid``'s component by one and return the new value."""
+        self.version += 1
         new = self._clocks.get(tid, 0) + 1
         self._clocks[tid] = new
         return new
@@ -69,6 +95,8 @@ class VectorClock:
             if time > mine.get(tid, 0):
                 mine[tid] = time
                 changed = True
+        if changed:
+            self.version += 1
         return changed
 
     def dominates(self, other: "VectorClock") -> bool:

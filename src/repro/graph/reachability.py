@@ -380,6 +380,89 @@ class ReachabilityIndex:
         return bool(self._closure(src, True, None) & (1 << dst))
 
     # ------------------------------------------------------------------
+    # Checkpointing and state transfer
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Tuple:
+        """Capture the cache state for :meth:`restore`.
+
+        Used by :func:`repro.vindicate.vindicator.vindicate_race` to
+        bracket one race's tagged-edge churn: the constraint graph's
+        edge *set* is identical before AddConstraints and after the
+        race's edges are untagged, so restoring the checkpointed caches
+        is exact — and strictly better than :meth:`_sync`'s selective
+        prune, which must drop every closure the temporary edges
+        touched even though the final graph never contained them.
+
+        Closure bitsets are immutable ints and result sets are only
+        ever handed out as copies, so shallow per-window dict copies
+        suffice. The hit/miss/invalidation counters are *not* part of
+        the checkpoint: they keep accumulating across races.
+        """
+        self._sync()
+        return (
+            self._generation,
+            self._journal_pos,
+            {w: dict(c) for w, c in self._fwd.items()},
+            {w: dict(c) for w, c in self._bwd.items()},
+            dict(self._results),
+        )
+
+    def restore(self, cp: Tuple) -> None:
+        """Merge a :meth:`checkpoint` back in.
+
+        Only sound when the graph's edge set equals what it was at
+        checkpoint time (the vindication loop guarantees this: every
+        edge added for a race is removed in its ``finally``).
+
+        This is a *merge*, not a reset: first the normal :meth:`_sync`
+        prune runs, keeping every closure computed since the checkpoint
+        that the churned edges never touched (those stay exact for the
+        restored graph — this is how the cache warms up across races);
+        then the checkpointed entries the prune had to drop are
+        resurrected. The result is a strict superset of what selective
+        pruning alone would leave.
+        """
+        _, _, fwd, bwd, results = cp
+        self._sync()
+        for source, target in ((fwd, self._fwd), (bwd, self._bwd)):
+            for window, cache in source.items():
+                current = target.setdefault(window, {})
+                for node, closure in cache.items():
+                    if node not in current:
+                        current[node] = closure
+        for key, result in results.items():
+            if key not in self._results:
+                self._results[key] = result
+
+    def export_state(self) -> Dict[str, Dict[int, int]]:
+        """Serialize the unwindowed closure caches for another process.
+
+        Returns a picklable ``{"fwd": {node: bitset}, "bwd": ...}``
+        payload. Windowed caches and materialised result sets are
+        deliberately left out: windows are race-specific and short-lived,
+        while the unwindowed closures are what AddConstraints re-derives
+        from scratch in a cold index.
+        """
+        self._sync()
+        return {
+            "fwd": dict(self._fwd.get(None, {})),
+            "bwd": dict(self._bwd.get(None, {})),
+        }
+
+    def import_state(self, state: Dict[str, Dict[int, int]]) -> None:
+        """Adopt closures exported by :meth:`export_state`.
+
+        The importing index must be bound to a graph with the *same
+        edge set* as the exporter's (the parallel engine rebuilds the
+        graph from its serialized arrays before importing).
+        """
+        self._sync()
+        if state.get("fwd"):
+            self._fwd.setdefault(None, {}).update(state["fwd"])
+        if state.get("bwd"):
+            self._bwd.setdefault(None, {}).update(state["bwd"])
+
+    # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:

@@ -320,6 +320,13 @@ ANALYZE_SCHEMA: Dict[str, object] = {
             },
         },
         "metrics": {"type": ["object", "null"]},
+        "parallel": {
+            "type": "object",
+            "required": ["jobs"],
+            "properties": {
+                "jobs": {"type": "integer"},
+            },
+        },
     },
 }
 

@@ -1,0 +1,35 @@
+"""``repro.parallel`` — process-parallel analysis & vindication engine.
+
+The paper's pipeline has two embarrassingly parallel phases: the HB,
+WCP, and DC detectors share nothing but the read-only trace (Section
+6.1 runs them simultaneously), and each VindicateRace call takes only
+``(race, G)`` (Section 6.2 vindicates offline). This package fans both
+out over a process pool while keeping every report **bit-identical** to
+the serial path:
+
+* :func:`repro.parallel.engine.run_analysis` — one worker per detector
+  over a shared :class:`~repro.traces.packed.PackedTrace`;
+* :func:`repro.parallel.engine.run_vindication` — DC-races fan out in
+  deterministic chunks against a constraint graph rebuilt once per
+  worker from CSR arrays, merged back in race order.
+
+Entry point: ``Vindicator(jobs=N)`` (or ``--jobs N`` on the CLI); the
+default ``jobs=1`` keeps the serial path byte-for-byte untouched. See
+``docs/PARALLEL.md`` for the architecture and determinism argument.
+"""
+
+from repro.parallel.engine import (
+    AnalysisResult,
+    partition,
+    pool_context,
+    run_analysis,
+    run_vindication,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "partition",
+    "pool_context",
+    "run_analysis",
+    "run_vindication",
+]

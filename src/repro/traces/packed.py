@@ -1,0 +1,159 @@
+"""Columnar packed encoding of a :class:`~repro.core.trace.Trace`.
+
+The parallel engine (:mod:`repro.parallel`) ships the trace to worker
+processes once per pool. Pickling a ``Trace`` directly serialises one
+``Event`` object per trace event — tens of thousands of small dataclass
+records plus their per-event strings — which dominates worker start-up
+cost. :class:`PackedTrace` stores the same information columnarly:
+
+* ``kinds`` — one byte per event, an index into the fixed
+  :class:`~repro.core.events.EventKind` order;
+* ``tid_idx`` / ``target_idx`` / ``loc_idx`` — per-event indices into
+  small first-appearance interning tables (``-1`` encodes ``None``);
+* ``local_time`` — the thread-local 1-based time of each event, so
+  array-level consumers can use per-thread positions without
+  materialising a ``Trace`` at all;
+* the interning tables themselves (one entry per distinct thread id,
+  target, and source location) and the trace's provenance dict.
+
+The columns are :class:`array.array` instances, which pickle as flat
+machine-typed buffers, so a packed trace crosses a process boundary as a
+handful of contiguous blobs. :func:`pack` / :meth:`PackedTrace.unpack`
+round-trip exactly: event ids, thread ids, kinds, targets, source
+locations, and provenance are all preserved, and unpacking skips
+re-validation because the source trace was validated when first built.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple, TypeVar
+
+_T = TypeVar("_T", bound=Hashable)
+
+from repro.core.events import Event, EventKind, Target, Tid
+from repro.core.trace import Trace
+
+#: The fixed kind numbering used by the ``kinds`` column. Index in this
+#: tuple == byte value; both sides of a process boundary run the same
+#: code, so the enum definition order is a stable contract.
+KIND_ORDER: Tuple[EventKind, ...] = tuple(EventKind)
+
+_KIND_CODE: Dict[EventKind, int] = {kind: i for i, kind in enumerate(KIND_ORDER)}
+
+
+@dataclass
+class PackedTrace:
+    """A trace as columnar arrays plus interning tables.
+
+    Build with :func:`pack`; restore with :meth:`unpack`. The instance
+    is picklable and its payload size is dominated by the four
+    fixed-width columns, not by per-event Python objects.
+    """
+
+    #: Per-event :data:`KIND_ORDER` index (``array('B')``).
+    kinds: "array[int]"
+    #: Per-event index into :attr:`tids` (``array('I')``).
+    tid_idx: "array[int]"
+    #: Per-event index into :attr:`targets`, ``-1`` for ``None``
+    #: (``array('i')``).
+    target_idx: "array[int]"
+    #: Per-event index into :attr:`locs`, ``-1`` for ``None``
+    #: (``array('i')``).
+    loc_idx: "array[int]"
+    #: Per-event thread-local 1-based time (``array('I')``), mirroring
+    #: :attr:`repro.core.trace.Trace.local_time`.
+    local_time: "array[int]"
+    #: Distinct thread ids in order of first appearance.
+    tids: List[Tid]
+    #: Distinct non-``None`` targets in order of first appearance.
+    targets: List[Target]
+    #: Distinct non-``None`` source locations in order of first appearance.
+    locs: List[str]
+    #: Copied from :attr:`repro.core.trace.Trace.provenance`.
+    provenance: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def nbytes(self) -> int:
+        """Total size of the fixed-width columns in bytes (the
+        interning tables are small and excluded)."""
+        return sum(
+            len(column) * column.itemsize
+            for column in (self.kinds, self.tid_idx, self.target_idx,
+                           self.loc_idx, self.local_time)
+        )
+
+    def unpack(self) -> Trace:
+        """Rebuild the original :class:`~repro.core.trace.Trace`.
+
+        Validation is skipped: the packed form can only come from
+        :func:`pack`, whose input was already validated.
+        """
+        tids = self.tids
+        targets = self.targets
+        locs = self.locs
+        target_idx = self.target_idx
+        loc_idx = self.loc_idx
+        events: List[Event] = []
+        for eid, (code, tid_i) in enumerate(zip(self.kinds, self.tid_idx)):
+            t_i = target_idx[eid]
+            l_i = loc_idx[eid]
+            events.append(Event(
+                eid,
+                tids[tid_i],
+                KIND_ORDER[code],
+                None if t_i < 0 else targets[t_i],
+                None if l_i < 0 else locs[l_i],
+            ))
+        trace = Trace(events, validate=False)
+        trace.provenance = dict(self.provenance)
+        return trace
+
+
+def pack(trace: Trace) -> PackedTrace:
+    """Encode ``trace`` as a :class:`PackedTrace`."""
+    kinds = array("B")
+    tid_idx = array("I")
+    target_idx = array("i")
+    loc_idx = array("i")
+    tids: List[Tid] = []
+    targets: List[Target] = []
+    locs: List[str] = []
+    tid_table: Dict[Tid, int] = {}
+    target_table: Dict[Target, int] = {}
+    loc_table: Dict[str, int] = {}
+    for e in trace.events:
+        kinds.append(_KIND_CODE[e.kind])
+        tid_i = tid_table.get(e.tid)
+        if tid_i is None:
+            tid_i = tid_table[e.tid] = len(tids)
+            tids.append(e.tid)
+        tid_idx.append(tid_i)
+        target_idx.append(_intern(e.target, target_table, targets))
+        loc_idx.append(_intern(e.loc, loc_table, locs))
+    return PackedTrace(
+        kinds=kinds,
+        tid_idx=tid_idx,
+        target_idx=target_idx,
+        loc_idx=loc_idx,
+        local_time=array("I", trace.local_time),
+        tids=tids,
+        targets=targets,
+        locs=locs,
+        provenance=dict(trace.provenance),
+    )
+
+
+def _intern(value: Optional[_T], table: Dict[_T, int], pool: List[_T]) -> int:
+    """First-appearance interning: return ``value``'s index in ``pool``,
+    appending it on first sight; ``None`` encodes as ``-1``."""
+    if value is None:
+        return -1
+    index = table.get(value)
+    if index is None:
+        index = table[value] = len(pool)
+        pool.append(value)
+    return index

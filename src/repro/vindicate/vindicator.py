@@ -115,6 +115,11 @@ def vindicate_race(
         index = ReachabilityIndex(graph)
     start = time.perf_counter()
     with obs.span("vindicate.race") as span:
+        # Bracket this race's tagged-edge churn: after the edges are
+        # untagged the graph is back to its pre-race edge set, so the
+        # pre-race closures are reinstalled instead of being re-derived
+        # (the checkpoint merge keeps churn-independent closures too).
+        cache_checkpoint = index.checkpoint()
         with obs.span("vindicate.add_constraints") as sp:
             constraints = add_constraints(graph, trace, e1, e2,
                                           use_window=use_window, index=index)
@@ -156,6 +161,7 @@ def vindicate_race(
         finally:
             for src, dst in reversed(constraints.added_edges):
                 graph.remove_edge(src, dst)
+            index.restore(cache_checkpoint)
         span.annotate("verdict_" + vindication.verdict.name.lower(), 1)
     reg = obs.metrics()
     if reg.enabled:
@@ -199,6 +205,10 @@ class VindicatorReport:
     #: Metrics snapshot captured when the pipeline ran with
     #: observability enabled; None otherwise.
     obs: Optional[Dict[str, object]] = None
+    #: Worker-process count the pipeline ran with (1 = serial path).
+    #: This is the one intentional document difference between serial
+    #: and parallel runs of the same trace.
+    jobs: int = 1
 
     @property
     def dc_only_races(self) -> List[DynamicRace]:
@@ -260,6 +270,7 @@ class VindicatorReport:
                 "vindication_seconds": self.vindication_seconds,
             },
             "metrics": self.obs,
+            "parallel": {"jobs": self.jobs},
         }
 
 
@@ -321,12 +332,18 @@ class Vindicator:
             lockset over-approximation and raise
             :class:`~repro.core.exceptions.SanitizerError` on any race
             over a provably race-free variable.
+        jobs: Worker processes. ``1`` (default) runs today's serial
+            path untouched; ``N > 1`` runs the detectors concurrently
+            and fans vindications out via :mod:`repro.parallel`, with
+            reports bit-identical to serial (worker-count metadata and
+            reachability cache counters excepted — see
+            ``docs/PARALLEL.md``).
     """
 
     def __init__(self, vindicate_all: bool = False, policy: str = "latest",
                  check_witnesses: bool = True, transitive_force: bool = True,
                  use_window: bool = False, prefilter: bool = False,
-                 sanitize: bool = False):
+                 sanitize: bool = False, jobs: int = 1):
         self.vindicate_all = vindicate_all
         self.policy = policy
         self.check_witnesses = check_witnesses
@@ -340,11 +357,18 @@ class Vindicator:
         self.prefilter = prefilter
         #: Enable the lockset cross-check on all three race reports.
         self.sanitize = sanitize
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        #: Worker processes (1 = serial).
+        self.jobs = jobs
 
     def run(self, trace: Trace) -> VindicatorReport:
         """Analyze ``trace`` end to end."""
         with obs.span("pipeline.run") as pipeline_span:
-            report = self._run(trace, pipeline_span)
+            if self.jobs > 1:
+                report = self._run_parallel(trace, pipeline_span)
+            else:
+                report = self._run(trace, pipeline_span)
         reg = obs.metrics()
         if reg.enabled:
             # Snapshot *after* every phase has published its batch.
@@ -421,6 +445,91 @@ class Vindicator:
             for name, value in index.stats().items():
                 reg.add(f"graph.{name}", value)
             for name, value in dc.graph.stats().items():
+                reg.gauge(f"graph.{name}").track_max(value)
+        pipeline_span.annotate("events", len(trace))
+        return report
+
+    def _run_parallel(self, trace: Trace,
+                      pipeline_span: obs.AnySpan) -> VindicatorReport:
+        """The ``jobs > 1`` pipeline: same phases as :meth:`_run`, with
+        the analysis and vindication phases fanned out over worker
+        processes by :mod:`repro.parallel.engine`. Classification,
+        lockset work, and report assembly stay in the parent, and every
+        merge is order-deterministic, so the report is bit-identical to
+        the serial path (worker-count metadata and reachability cache
+        counters excepted)."""
+        # Imported here so the serial pipeline never touches
+        # multiprocessing machinery.
+        from repro.parallel import engine
+
+        lockset: Optional[LocksetResult] = None
+        candidates = None
+        if self.prefilter or self.sanitize:
+            lockset = analyze_locksets(trace.events)
+            if self.prefilter:
+                candidates = lockset.race_candidates
+        start = time.perf_counter()
+        with obs.span("pipeline.analysis") as sp:
+            analysis = engine.run_analysis(
+                trace, jobs=self.jobs,
+                transitive_force=self.transitive_force,
+                prefilter=candidates)
+            sp.annotate("events", len(trace))
+            sp.annotate("jobs", min(3, self.jobs))
+        hb_report, wcp_report, dc_report = analysis.hb, analysis.wcp, analysis.dc
+        analysis_seconds = time.perf_counter() - start
+
+        with obs.span("pipeline.classify") as sp:
+            classified: List[DynamicRace] = []
+            for race in dc_report.races:
+                hb_unordered = race.first.eid in analysis.hb_racing_at.get(
+                    race.second.eid, ())
+                wcp_unordered = race.first.eid in analysis.wcp_racing_at.get(
+                    race.second.eid, ())
+                race_class = classify((not hb_unordered, not wcp_unordered))
+                classified.append(replace(race, race_class=race_class))
+            dc_report.races = classified
+            sp.annotate("dc_races", len(classified))
+
+        if self.sanitize:
+            assert lockset is not None
+            violations: List[str] = []
+            for analysis_report in (hb_report, wcp_report, dc_report):
+                violations.extend(cross_check(analysis_report.races, lockset))
+            if violations:
+                raise SanitizerError(violations)
+
+        report = VindicatorReport(
+            trace=trace, hb=hb_report, wcp=wcp_report, dc=dc_report,
+            analysis_seconds=analysis_seconds, lockset=lockset,
+            provenance=dict(trace.provenance), jobs=self.jobs)
+        to_vindicate = [
+            (pos, race) for pos, race in enumerate(classified)
+            if self.vindicate_all or race.race_class is RaceClass.DC_ONLY]
+        start = time.perf_counter()
+        with obs.span("pipeline.vindicate") as sp:
+            vindications, index_stats = engine.run_vindication(
+                trace, analysis, to_vindicate, jobs=self.jobs,
+                policy=self.policy, check=self.check_witnesses,
+                use_window=self.use_window)
+            # The worker round-trip returns value-equal copies of the
+            # race objects; swap the parent's classified instances back
+            # in so identity matches the serial path.
+            for (pos, _), vindication in zip(to_vindicate, vindications):
+                vindication.race = classified[pos]
+            report.vindications.extend(vindications)
+            sp.annotate("races", len(vindications))
+            sp.annotate("jobs", self.jobs)
+        report.vindication_seconds = time.perf_counter() - start
+        for counter, value in index_stats.items():
+            if value:
+                dc_report.counters[counter] = (
+                    dc_report.counters.get(counter, 0) + value)
+        reg = obs.metrics()
+        if reg.enabled:
+            for name, value in index_stats.items():
+                reg.add(f"graph.{name}", value)
+            for name, value in analysis.graph_stats.items():
                 reg.gauge(f"graph.{name}").track_max(value)
         pipeline_span.annotate("events", len(trace))
         return report

@@ -1,0 +1,218 @@
+"""The parallel engine is an optimisation, never a semantic change.
+
+``Vindicator(jobs=N)`` must produce reports **bit-identical** to the
+serial path for every N: same races, classifications, verdicts,
+witnesses, counters, and the same ``vindicator.analyze/1`` document —
+modulo exactly the fields documented in ``docs/PARALLEL.md``:
+
+* ``timing`` and per-vindication ``elapsed_seconds`` (wall clock),
+* ``metrics`` (the obs snapshot embeds timing histograms),
+* ``parallel.jobs`` (reports the worker count by design),
+* ``reach_*`` counters (the reachability cache's hit/miss split depends
+  on how races were partitioned across workers; the *verdicts* cannot).
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.parallel import partition
+from repro.parallel.engine import CHUNKS_PER_WORKER
+from repro.runtime import execute
+from repro.runtime.workloads import WORKLOADS
+from repro.traces.gen import GeneratorConfig, random_trace
+from repro.traces.litmus import ALL as LITMUS
+from repro.vindicate.vindicator import Vindicator
+
+JOBS = (2, 4)
+
+
+def normalize(doc):
+    """Strip the documented worker-count-dependent fields from an
+    ``analyze/1`` document; everything left must be bit-identical."""
+    doc = json.loads(json.dumps(doc))
+    doc["timing"] = None
+    doc["metrics"] = None
+    doc["parallel"] = None
+    for vindication in doc.get("vindications", []):
+        vindication["elapsed_seconds"] = None
+    for analysis in doc.get("analyses", {}).values():
+        analysis["counters"] = {
+            key: value for key, value in analysis.get("counters", {}).items()
+            if not key.startswith("reach_")
+        }
+    return doc
+
+
+def run_doc(trace, jobs, **kwargs):
+    return Vindicator(vindicate_all=True, jobs=jobs,
+                      **kwargs).run(trace).to_document()
+
+
+def assert_parallel_identical(trace, **kwargs):
+    serial = run_doc(trace, 1, **kwargs)
+    assert serial["parallel"] == {"jobs": 1}
+    reference = normalize(serial)
+    for jobs in JOBS:
+        parallel = run_doc(trace, jobs, **kwargs)
+        assert parallel["parallel"] == {"jobs": jobs}
+        assert normalize(parallel) == reference
+    return serial
+
+
+class TestPartition:
+    def test_empty(self):
+        assert partition(0, 4) == []
+        assert partition(-1, 4) == []
+
+    def test_covers_range_exactly(self):
+        for count in (1, 2, 7, 16, 100):
+            for jobs in (1, 2, 3, 8):
+                bounds = partition(count, jobs)
+                flat = [i for start, stop in bounds
+                        for i in range(start, stop)]
+                assert flat == list(range(count))
+
+    def test_chunks_never_empty(self):
+        for count in (1, 5, 33):
+            for jobs in (1, 2, 7):
+                assert all(stop > start
+                           for start, stop in partition(count, jobs))
+
+    def test_deterministic_and_scheduling_independent(self):
+        assert partition(10, 3) == partition(10, 3)
+
+    def test_chunk_count_bounds(self):
+        assert len(partition(100, 2)) == 2 * CHUNKS_PER_WORKER
+        assert len(partition(3, 8)) == 3  # never more chunks than items
+        assert len(partition(5, 1)) <= CHUNKS_PER_WORKER
+
+    def test_near_uniform_sizes(self):
+        sizes = [stop - start for start, stop in partition(13, 1)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestLitmusDifferential:
+    @pytest.mark.parametrize("name", sorted(LITMUS))
+    def test_bit_identical(self, name):
+        assert_parallel_identical(LITMUS[name]())
+
+
+class TestWorkloadDifferential:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_bit_identical(self, name):
+        trace = execute(WORKLOADS[name](scale=0.25), seed=7)
+        assert_parallel_identical(trace)
+
+    def test_with_prefilter_and_sanitize(self):
+        trace = execute(WORKLOADS["xalan"](scale=0.4), seed=3)
+        assert_parallel_identical(trace, prefilter=True, sanitize=True)
+
+    def test_dc_only_vindication_subset(self):
+        # Default (not vindicate_all) exercises the DC-only selection in
+        # the parallel path too.
+        trace = execute(WORKLOADS["avrora"](scale=0.4), seed=0)
+        serial = Vindicator(jobs=1).run(trace).to_document()
+        parallel = Vindicator(jobs=2).run(trace).to_document()
+        assert normalize(parallel) == normalize(serial)
+
+    def test_race_report_objects_match(self):
+        trace = execute(WORKLOADS["avrora"](scale=0.4), seed=0)
+        serial = Vindicator(vindicate_all=True, jobs=1).run(trace)
+        parallel = Vindicator(vindicate_all=True, jobs=2).run(trace)
+        for label in ("hb", "wcp", "dc"):
+            s, p = getattr(serial, label), getattr(parallel, label)
+            assert [(r.first.eid, r.second.eid, r.race_class)
+                    for r in s.races] == \
+                   [(r.first.eid, r.second.eid, r.race_class)
+                    for r in p.races]
+        assert [(v.race.first.eid, v.race.second.eid, v.verdict,
+                 v.attempts, v.ls_constraints)
+                for v in serial.vindications] == \
+               [(v.race.first.eid, v.race.second.eid, v.verdict,
+                 v.attempts, v.ls_constraints)
+                for v in parallel.vindications]
+        assert [None if v.witness is None else [e.eid for e in v.witness]
+                for v in serial.vindications] == \
+               [None if v.witness is None else [e.eid for e in v.witness]
+                for v in parallel.vindications]
+
+
+class TestObsDifferential:
+    def test_identical_with_metrics_on(self):
+        trace = execute(WORKLOADS["avrora"](scale=0.3), seed=0)
+        try:
+            obs.enable()
+            serial = run_doc(trace, 1)
+            parallel = run_doc(trace, 2)
+        finally:
+            obs.disable()
+        assert normalize(parallel) == normalize(serial)
+
+    def test_counters_account_for_worker_work(self):
+        trace = execute(WORKLOADS["avrora"](scale=0.3), seed=0)
+        try:
+            obs.enable()
+            report = Vindicator(vindicate_all=True, jobs=2).run(trace)
+            counters = obs.metrics().snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert counters["analysis.dc.events"] == len(trace)
+        assert counters["vindicate.races_checked"] == \
+            len(report.vindications)
+
+    def test_worker_spans_graft_under_pipeline(self):
+        trace = execute(WORKLOADS["avrora"](scale=0.3), seed=0)
+        try:
+            obs.enable()
+            with obs.span("pipeline"):
+                Vindicator(vindicate_all=True, jobs=2).run(trace)
+            roots = obs.tracer().to_dicts()
+        finally:
+            obs.disable()
+
+        def names(node):
+            yield node["name"]
+            for child in node.get("children", []):
+                yield from names(child)
+
+        all_names = [n for root in roots for n in names(root)]
+        assert "analysis.dc" in all_names
+        assert "vindicate.race" in all_names
+
+
+class TestCLI:
+    def test_jobs_flag_bit_identical_documents(self, capsys):
+        from repro.cli import main
+        assert main(["workload", "avrora", "--scale", "0.25",
+                     "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["workload", "avrora", "--scale", "0.25",
+                     "--jobs", "2", "--json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial["parallel"] == {"jobs": 1}
+        assert parallel["parallel"] == {"jobs": 2}
+        assert normalize(parallel) == normalize(serial)
+
+    def test_jobs_rejects_zero(self):
+        from repro.cli import main
+        with pytest.raises(ValueError):
+            main(["workload", "avrora", "--scale", "0.2", "--jobs", "0"])
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000),
+       config=st.builds(GeneratorConfig,
+                        threads=st.integers(2, 4),
+                        events=st.integers(8, 30),
+                        variables=st.integers(1, 3),
+                        locks=st.integers(1, 2),
+                        use_fork_join=st.booleans()))
+def test_random_traces_bit_identical(seed, config):
+    trace = random_trace(seed, config)
+    serial = normalize(run_doc(trace, 1))
+    assert normalize(run_doc(trace, 2)) == serial

@@ -213,6 +213,135 @@ class TestIndexMechanics:
                                     "reach_invalidations"}
 
 
+class TestCheckpointRestore:
+    """The vindicate-loop bracket: checkpoint, churn tagged edges,
+    un-churn, restore — answers must match a never-churned index and the
+    cache must come back warm."""
+
+    EDGES = [(0, 1), (1, 2), (3, 4), (4, 5)]
+
+    def _build(self):
+        g = ConstraintGraph()
+        for s, d in self.EDGES:
+            g.add_edge(s, d)
+        return g, ReachabilityIndex(g)
+
+    def test_restore_after_balanced_churn_is_exact(self):
+        g, idx = self._build()
+        assert idx.descendants([0]) == {1, 2}
+        cp = idx.checkpoint()
+        g.add_edge(2, 3)  # the race's tagged edge
+        assert idx.descendants([0]) == {1, 2, 3, 4, 5}
+        g.remove_edge(2, 3)
+        idx.restore(cp)
+        assert idx.descendants([0]) == {1, 2}
+        assert idx.descendants([3]) == {4, 5}
+        assert idx.ancestors([5]) == {3, 4}
+
+    def test_restore_resurrects_pruned_closures(self):
+        g, idx = self._build()
+        idx.descendants([0])  # warm node 0's closure
+        cp = idx.checkpoint()
+        g.add_edge(2, 3)  # invalidates node 0's closure chain
+        idx.descendants([0])
+        g.remove_edge(2, 3)
+        idx.restore(cp)
+        misses_before = idx.misses
+        assert idx.descendants([0]) == {1, 2}
+        assert idx.misses == misses_before  # served from restored cache
+
+    def test_restore_keeps_untouched_closures_computed_after_checkpoint(self):
+        g, idx = self._build()
+        cp = idx.checkpoint()
+        g.add_edge(2, 3)
+        # 3→{4,5} is exact for the pristine graph too: churn never
+        # touched it, so the prune-then-merge restore must keep it warm.
+        idx.descendants([3])
+        g.remove_edge(2, 3)
+        idx.restore(cp)
+        misses_before = idx.misses
+        assert idx.descendants([3]) == {4, 5}
+        assert idx.misses == misses_before
+
+    def test_counters_survive_restore(self):
+        g, idx = self._build()
+        idx.descendants([0])
+        cp = idx.checkpoint()
+        hits, misses = idx.hits, idx.misses
+        g.add_edge(2, 3)
+        idx.descendants([0])
+        g.remove_edge(2, 3)
+        idx.restore(cp)
+        assert idx.misses >= misses  # counters accumulate, never reset
+        assert idx.hits >= hits
+
+    def test_randomised_churn_round_trips(self):
+        rng = random.Random(42)
+        g = ConstraintGraph()
+        edges = set()
+        for _ in range(25):
+            s, d = rng.randrange(N_NODES), rng.randrange(N_NODES)
+            if s != d and (s, d) not in edges:
+                g.add_edge(s, d)
+                edges.add((s, d))
+        idx = ReachabilityIndex(g)
+        for node in range(0, N_NODES, 3):
+            idx.descendants([node])
+        for trial in range(10):
+            cp = idx.checkpoint()
+            tagged = []
+            for _ in range(rng.randrange(1, 5)):
+                s, d = rng.randrange(N_NODES), rng.randrange(N_NODES)
+                if s != d and (s, d) not in edges:
+                    g.add_edge(s, d)
+                    edges.add((s, d))
+                    tagged.append((s, d))
+            idx.descendants([rng.randrange(N_NODES)])
+            for s, d in reversed(tagged):
+                g.remove_edge(s, d)
+                edges.discard((s, d))
+            idx.restore(cp)
+            for node in range(N_NODES):
+                assert idx.descendants([node]) == \
+                    naive_strict_reach(edges, [node])
+
+
+class TestStateExportImport:
+    def test_round_trip_serves_queries_without_misses(self):
+        g = ConstraintGraph()
+        for s, d in [(0, 1), (1, 2), (2, 3)]:
+            g.add_edge(s, d)
+        exporter = ReachabilityIndex(g)
+        exporter.descendants([0])
+        exporter.ancestors([3])
+        state = exporter.export_state()
+
+        offsets, targets = g.to_arrays()
+        clone = ConstraintGraph.from_arrays(offsets, targets)
+        importer = ReachabilityIndex(clone)
+        importer.import_state(state)
+        misses_before = importer.misses
+        assert importer.descendants([0]) == {1, 2, 3}
+        assert importer.ancestors([3]) == {0, 1, 2}
+        assert importer.misses == misses_before
+
+    def test_state_is_picklable(self):
+        import pickle
+        g = ConstraintGraph()
+        g.add_edge(0, 1)
+        idx = ReachabilityIndex(g)
+        idx.descendants([0])
+        state = pickle.loads(pickle.dumps(idx.export_state()))
+        assert set(state) == {"fwd", "bwd"}
+
+    def test_empty_state_import_is_noop(self):
+        g = ConstraintGraph()
+        g.add_edge(0, 1)
+        idx = ReachabilityIndex(g)
+        idx.import_state({"fwd": {}, "bwd": {}})
+        assert idx.descendants([0]) == {1}
+
+
 class TestVindicatorSurfacesCounters:
     def test_counters_reach_dc_report(self):
         from repro.traces.litmus import figure2
@@ -221,6 +350,19 @@ class TestVindicatorSurfacesCounters:
         assert report.vindications, "figure2 must produce a DC-only race"
         counters = report.dc.counters
         assert counters.get("reach_misses", 0) > 0
+
+    def test_index_shared_across_races_in_serial_loop(self):
+        # One ReachabilityIndex serves the whole vindication loop; the
+        # checkpoint/restore bracket keeps it warm between races, so a
+        # multi-race run must record far more hits than misses.
+        from repro.runtime import execute
+        from repro.runtime.workloads import WORKLOADS
+        from repro.vindicate.vindicator import Vindicator
+        trace = execute(WORKLOADS["avrora"](scale=0.4), seed=0)
+        report = Vindicator(vindicate_all=True).run(trace)
+        assert len(report.vindications) > 5
+        counters = report.dc.counters
+        assert counters["reach_hits"] > counters["reach_misses"]
 
 
 if __name__ == "__main__":  # pragma: no cover
