@@ -10,9 +10,10 @@ also written to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.runtime import execute, fast_path_filter
 from repro.runtime.workloads import WORKLOADS
@@ -54,3 +55,17 @@ def write_result(filename: str, content: str) -> None:
     path = RESULTS_DIR / filename
     path.write_text(content, encoding="utf-8")
     print(f"\n[written to {path}]\n{content}")
+
+
+def write_json(filename: str, payload: Dict[str, Any]) -> None:
+    """Write a machine-readable result under ``benchmarks/results/``.
+
+    The JSON mirrors the human-readable ``.txt`` tables so CI can
+    upload, diff, and assert on benchmark numbers without re-parsing
+    formatted text.  Keys are sorted for stable diffs.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"[written to {path}]")

@@ -5,6 +5,7 @@ from repro.analysis.hb import HBDetector
 from repro.analysis.fasttrack import FastTrackDetector
 from repro.analysis.wcp import WCPDetector
 from repro.analysis.dc import DCDetector
+from repro.analysis.smarttrack import EpochDCDetector, EpochWCPDetector
 from repro.analysis.races import (
     DynamicRace,
     RaceClass,
@@ -19,6 +20,8 @@ __all__ = [
     "DCDetector",
     "Detector",
     "DynamicRace",
+    "EpochDCDetector",
+    "EpochWCPDetector",
     "FastTrackDetector",
     "HBDetector",
     "RaceClass",

@@ -43,8 +43,9 @@ class DCDetector(Detector):
     relation = "DC"
 
     def __init__(self, build_graph: bool = True,
-                 prefilter: Optional[Collection[Target]] = None):
-        super().__init__(prefilter)
+                 prefilter: Optional[Collection[Target]] = None,
+                 fast_vc: bool = False):
+        super().__init__(prefilter, fast_vc=fast_vc)
         self.build_graph = build_graph
         self.graph = ConstraintGraph()
         self._clocks: Dict[Tid, VectorClock] = {}
@@ -92,7 +93,7 @@ class DCDetector(Detector):
         and any pending fork edge to the graph."""
         clock = self._clocks.get(e.tid)
         if clock is None:
-            clock = VectorClock()
+            clock = self._new_clock()
             self._clocks[e.tid] = clock
         assert self.trace is not None
         clock.advance(e.tid, self.trace.local_time[e.eid])

@@ -118,7 +118,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                             policy=args.policy,
                             prefilter=args.prefilter,
                             sanitize=args.sanitize,
-                            jobs=args.jobs)
+                            jobs=args.jobs,
+                            variant="fast" if args.fast_vc else "reference")
     return _run_and_print(vindicator, trace, args.witness,
                           as_json=args.json)
 
@@ -152,7 +153,8 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         vindicator = Vindicator(vindicate_all=True,
                                 transitive_force=not name.startswith("figure4"),
                                 prefilter=args.prefilter,
-                                sanitize=args.sanitize)
+                                sanitize=args.sanitize,
+                                variant="fast" if args.fast_vc else "reference")
         status = _run_and_print(vindicator, factory(), args.witness)
         if status:
             return status
@@ -177,7 +179,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     vindicator = Vindicator(vindicate_all=args.vindicate_all,
                             prefilter=args.prefilter,
                             sanitize=args.sanitize,
-                            jobs=args.jobs)
+                            jobs=args.jobs,
+                            variant="fast" if args.fast_vc else "reference")
     return _run_and_print(vindicator, trace, args.witness,
                           as_json=args.json)
 
@@ -237,7 +240,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             vindicator = Vindicator(vindicate_all=args.vindicate_all,
                                     prefilter=args.prefilter,
                                     sanitize=args.sanitize,
-                                    jobs=args.jobs)
+                                    jobs=args.jobs,
+                                    variant="fast" if args.fast_vc else "reference")
             try:
                 vindicator.run(trace)
             except SanitizerError as exc:
@@ -278,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "processes; reports stay bit-identical to "
                               "--jobs 1 (default: 1, fully serial)")
 
+    def add_fast_vc_flag(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--fast-vc", action="store_true", dest="fast_vc",
+                         help="run the SmartTrack-style epoch/dense-kernel "
+                              "WCP and DC detectors (same verdicts and "
+                              "constraint graph, >=2x faster)")
+
     analyze = sub.add_parser("analyze", help="analyze a text-format trace file")
     analyze.add_argument("trace", help="path to the trace file")
     analyze.add_argument("--vindicate-all", action="store_true",
@@ -291,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "instead of the human-readable report")
     add_static_flags(analyze)
     add_jobs_flag(analyze)
+    add_fast_vc_flag(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     lint = sub.add_parser(
@@ -304,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
                         f"({', '.join(LITMUS)})")
     litmus.add_argument("--witness", action="store_true")
     add_static_flags(litmus)
+    add_fast_vc_flag(litmus)
     litmus.set_defaults(func=_cmd_litmus)
 
     workload = sub.add_parser("workload", help="run a DaCapo-analog workload")
@@ -319,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "instead of the human-readable report")
     add_static_flags(workload)
     add_jobs_flag(workload)
+    add_fast_vc_flag(workload)
     workload.set_defaults(func=_cmd_workload)
 
     profile = sub.add_parser(
@@ -346,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "as the global --metrics flag)")
     add_static_flags(profile)
     add_jobs_flag(profile)
+    add_fast_vc_flag(profile)
     profile.set_defaults(func=_cmd_profile)
     return parser
 

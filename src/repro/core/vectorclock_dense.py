@@ -1,0 +1,222 @@
+"""Dense, array-backed vector clocks (the fast kernel behind ``--fast-vc``).
+
+The dict-backed :class:`~repro.core.vectorclock.VectorClock` is the
+clarity-first representation: absent threads are implicitly zero and any
+hashable thread id works. Its hot operations, however, pay dict hashing
+per component. This module provides the dense alternative used by the
+SmartTrack-style detectors (:mod:`repro.analysis.smarttrack`) and,
+optionally, by the reference detectors:
+
+* :class:`TidTable` — compact interning of thread ids to indices
+  ``0..T-1``, fixed per trace;
+* free functions :func:`join_into_list` / :func:`dominates_list` — fused
+  component kernels over plain ``list``-of-int clock storage (measured
+  faster than ``array('q')`` for indexing/joins on CPython; ``array`` is
+  reserved for long-lived packed columns, see
+  :mod:`repro.traces.packed`);
+* :class:`DenseVectorClock` — a drop-in object API mirroring
+  ``VectorClock`` (``get``/``set``/``advance``/``join``/``dominates``/
+  ``copy``/``version``) over a shared :class:`TidTable`, so the base
+  :meth:`~repro.analysis.base.Detector.check_access` snapshot cache and
+  the differential tests work unchanged.
+
+Clocks from different tables must never be mixed; everything created by
+one detector run shares that run's table. Components for tids the table
+does not know are implicitly zero, exactly like missing dict entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.events import Tid
+from repro.core.vectorclock import VectorClock
+
+
+class TidTable:
+    """Compact interning of thread ids to dense indices ``0..T-1``.
+
+    Iteration order of :attr:`tids` is interning order, so detectors that
+    pre-populate the table with ``trace.threads`` scan components in the
+    same first-appearance order the dict-backed clocks use.
+    """
+
+    __slots__ = ("tids", "index")
+
+    def __init__(self, tids: Sequence[Tid] = ()):
+        #: index -> thread id.
+        self.tids: List[Tid] = []
+        #: thread id -> index.
+        self.index: Dict[Tid, int] = {}
+        for tid in tids:
+            self.intern(tid)
+
+    def intern(self, tid: Tid) -> int:
+        """Return ``tid``'s index, assigning the next one if unseen."""
+        idx = self.index.get(tid)
+        if idx is None:
+            idx = len(self.tids)
+            self.index[tid] = idx
+            self.tids.append(tid)
+        return idx
+
+    def __len__(self) -> int:
+        return len(self.tids)
+
+    def __repr__(self) -> str:
+        return f"TidTable({self.tids!r})"
+
+
+# ----------------------------------------------------------------------
+# Fused kernels over raw component lists
+# ----------------------------------------------------------------------
+def join_into_list(dst: List[int], src: Sequence[int]) -> None:
+    """In-place pointwise max: ``dst[i] = max(dst[i], src[i])``.
+
+    Requires ``len(src) <= len(dst)`` (clocks sharing one table and
+    allocated at full table size always satisfy this).
+    """
+    for i, value in enumerate(src):
+        if value > dst[i]:
+            dst[i] = value
+
+
+def join_into_list_changed(dst: List[int], src: Sequence[int]) -> bool:
+    """:func:`join_into_list` that also reports whether ``dst`` grew."""
+    changed = False
+    for i, value in enumerate(src):
+        if value > dst[i]:
+            dst[i] = value
+            changed = True
+    return changed
+
+
+def dominates_list(big: Sequence[int], small: Sequence[int]) -> bool:
+    """Pointwise ``small <= big`` (missing trailing components are 0)."""
+    nb = len(big)
+    for i, value in enumerate(small):
+        if value and (i >= nb or value > big[i]):
+            return False
+    return True
+
+
+class DenseVectorClock:
+    """A dense vector clock over a shared :class:`TidTable`.
+
+    API-compatible with :class:`~repro.core.vectorclock.VectorClock`
+    (including the :attr:`version` contract: bumped on every mutation
+    except :meth:`advance` — see ``VectorClock.advance`` for why the
+    snapshot caches may ignore self-advances). Component storage is a
+    plain list indexed by tid index; reads and joins do no hashing.
+    """
+
+    __slots__ = ("table", "_values", "version")
+
+    def __init__(self, table: TidTable,
+                 values: Optional[List[int]] = None,
+                 clocks: Optional[Mapping[Tid, int]] = None):
+        self.table = table
+        if values is not None:
+            #: Shared by reference, not copied: callers building a view
+            #: over detector-internal storage rely on this.
+            self._values = values
+        else:
+            self._values = [0] * len(table)
+            if clocks:
+                for tid, time in clocks.items():
+                    self._values[table.intern(tid)] = time
+        self.version: int = 0
+
+    # ------------------------------------------------------------------
+    # Component access
+    # ------------------------------------------------------------------
+    def get(self, tid: Tid) -> int:
+        idx = self.table.index.get(tid)
+        if idx is None or idx >= len(self._values):
+            return 0
+        return self._values[idx]
+
+    def _slot(self, tid: Tid) -> int:
+        """Intern ``tid`` and grow storage to cover its index."""
+        idx = self.table.intern(tid)
+        values = self._values
+        if idx >= len(values):
+            values.extend([0] * (len(self.table) - len(values)))
+        return idx
+
+    def set(self, tid: Tid, time: int) -> None:
+        self.version += 1
+        self._values[self._slot(tid)] = time
+
+    def advance(self, tid: Tid, time: int) -> None:
+        """Self-advance without a version bump (see ``VectorClock.advance``)."""
+        self._values[self._slot(tid)] = time
+
+    def increment(self, tid: Tid) -> int:
+        self.version += 1
+        idx = self._slot(tid)
+        new = self._values[idx] + 1
+        self._values[idx] = new
+        return new
+
+    # ------------------------------------------------------------------
+    # Lattice operations
+    # ------------------------------------------------------------------
+    def join(self, other: Union["DenseVectorClock", VectorClock]) -> bool:
+        changed = False
+        values = self._values
+        if isinstance(other, DenseVectorClock) and other.table is self.table:
+            src = other._values
+            if len(src) > len(values):
+                values.extend([0] * (len(src) - len(values)))
+            changed = join_into_list_changed(values, src)
+        else:
+            for tid, time in other:
+                idx = self._slot(tid)
+                if time > values[idx]:
+                    values[idx] = time
+                    changed = True
+        if changed:
+            self.version += 1
+        return changed
+
+    def dominates(self, other: Union["DenseVectorClock", VectorClock]) -> bool:
+        if isinstance(other, DenseVectorClock) and other.table is self.table:
+            return dominates_list(self._values, other._values)
+        return all(time <= self.get(tid) for tid, time in other)
+
+    def copy(self) -> "DenseVectorClock":
+        clone = DenseVectorClock(self.table, values=self._values.copy())
+        return clone
+
+    # ------------------------------------------------------------------
+    # Protocol support
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[Tid, int]:
+        tids = self.table.tids
+        return {tids[i]: v for i, v in enumerate(self._values) if v}
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DenseVectorClock):
+            return self.as_dict() == other.as_dict()
+        if isinstance(other, VectorClock):
+            return self.as_dict() == other.as_dict()
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - clocks are mutable
+        raise TypeError("DenseVectorClock is mutable and unhashable")
+
+    def __iter__(self) -> Iterator[Tuple[Tid, int]]:
+        tids = self.table.tids
+        return ((tids[i], v) for i, v in enumerate(self._values) if v)
+
+    def __len__(self) -> int:
+        return sum(1 for v in self._values if v)
+
+    def __bool__(self) -> bool:
+        return any(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"T{t}:{c}" for t, c in sorted(self.as_dict().items(), key=str))
+        return f"DenseVC[{inner}]"

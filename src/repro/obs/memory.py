@@ -23,8 +23,11 @@ from __future__ import annotations
 import gc
 import resource
 import sys
+import tracemalloc
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple, TypeVar
+
+_T = TypeVar("_T")
 
 #: ``ru_maxrss`` unit: kilobytes on Linux, bytes on macOS.
 _RSS_DIVISOR = 1024 if sys.platform == "darwin" else 1
@@ -33,6 +36,33 @@ _RSS_DIVISOR = 1024 if sys.platform == "darwin" else 1
 def peak_rss_kb() -> int:
     """The process's peak resident set size, in kilobytes."""
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // _RSS_DIVISOR
+
+
+def traced_heap_peak_kb(fn: Callable[[], _T]) -> Tuple[_T, int]:
+    """Run ``fn`` under :mod:`tracemalloc` and return its result plus the
+    Python heap's peak growth in kilobytes.
+
+    Unlike a peak-RSS *delta* — a process-wide high-water mark that
+    reads 0 once any earlier phase has driven RSS higher — the traced
+    heap peak is attributable to this call alone, so it stays meaningful
+    no matter what ran before in the same process.  Tracing slows
+    allocation severalfold, so callers must take wall-time measurements
+    from separate, untraced runs.  Nested use degrades gracefully: if
+    tracing is already active the sample is taken against a reset peak
+    rather than restarting the tracer.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if already_tracing:
+        tracemalloc.reset_peak()
+    else:
+        tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return result, peak // 1024
 
 
 @dataclass(frozen=True)

@@ -93,19 +93,23 @@ class AnalysisResult:
 
 
 def run_analysis(trace: Trace, *, jobs: int, transitive_force: bool,
-                 prefilter: Optional[FrozenSet[Target]]) -> AnalysisResult:
+                 prefilter: Optional[FrozenSet[Target]],
+                 variant: str = "reference") -> AnalysisResult:
     """Run the three detectors concurrently over ``trace``.
 
     Results merge in the fixed order hb, wcp, dc; with observability on,
     each worker's metrics snapshot is merged and its span trees are
     grafted under the currently open span in that same order.
+    ``variant="fast"`` runs the epoch/dense-kernel WCP and DC detectors
+    (:mod:`repro.analysis.smarttrack`) — verdict-identical, faster.
     """
     packed = pack(trace)
     obs_on = obs.enabled()
     with ProcessPoolExecutor(
             max_workers=min(3, jobs), mp_context=pool_context(),
             initializer=workers.init_analysis,
-            initargs=(packed, transitive_force, prefilter, obs_on)) as pool:
+            initargs=(packed, transitive_force, prefilter, obs_on,
+                      variant)) as pool:
         futures = [pool.submit(workers.run_detector, which)
                    for which in ("hb", "wcp", "dc")]
         payloads = [f.result() for f in futures]

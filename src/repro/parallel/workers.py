@@ -28,6 +28,7 @@ from repro import obs
 from repro.analysis.dc import DCDetector
 from repro.analysis.hb import HBDetector
 from repro.analysis.races import DynamicRace
+from repro.analysis.smarttrack import EpochDCDetector, EpochWCPDetector
 from repro.analysis.wcp import WCPDetector
 from repro.core.events import Target
 from repro.core.trace import Trace
@@ -60,7 +61,7 @@ def _obs_payload(enabled: bool) -> Optional[Dict[str, object]]:
 # ----------------------------------------------------------------------
 def init_analysis(packed: PackedTrace, transitive_force: bool,
                   prefilter: Optional[FrozenSet[Target]],
-                  obs_on: bool) -> None:
+                  obs_on: bool, variant: str = "reference") -> None:
     """Pool initializer: unpack the trace once per worker process."""
     obs.disable()
     _STATE.clear()
@@ -68,6 +69,7 @@ def init_analysis(packed: PackedTrace, transitive_force: bool,
     _STATE["transitive_force"] = transitive_force
     _STATE["prefilter"] = prefilter
     _STATE["obs_on"] = obs_on
+    _STATE["variant"] = variant
 
 
 def run_detector(which: str) -> Dict[str, Any]:
@@ -82,14 +84,21 @@ def run_detector(which: str) -> Dict[str, Any]:
     """
     trace: Trace = _STATE["trace"]
     obs_on: bool = _STATE["obs_on"]
+    fast = _STATE.get("variant", "reference") == "fast"
     _obs_begin(obs_on)
     detector: Any
     if which == "hb":
+        # HB has no epoch variant here: FastTrack's racing_at is not
+        # equivalent, and HB is not the pipeline bottleneck.
         detector = HBDetector(prefilter=_STATE["prefilter"])
     elif which == "wcp":
-        detector = WCPDetector(prefilter=_STATE["prefilter"])
+        detector = (EpochWCPDetector(prefilter=_STATE["prefilter"]) if fast
+                    else WCPDetector(prefilter=_STATE["prefilter"]))
     elif which == "dc":
-        detector = DCDetector(build_graph=True, prefilter=_STATE["prefilter"])
+        detector = (
+            EpochDCDetector(build_graph=True, prefilter=_STATE["prefilter"])
+            if fast
+            else DCDetector(build_graph=True, prefilter=_STATE["prefilter"]))
     else:  # pragma: no cover - driver bug
         raise ValueError(f"unknown detector {which!r}")
     detector.transitive_force = _STATE["transitive_force"]

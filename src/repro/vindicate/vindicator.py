@@ -32,6 +32,7 @@ from repro.graph.reachability import ReachabilityIndex
 from repro.analysis.dc import DCDetector
 from repro.analysis.hb import HBDetector
 from repro.analysis.races import DynamicRace, RaceClass, RaceReport, classify
+from repro.analysis.smarttrack import EpochDCDetector, EpochWCPDetector
 from repro.analysis.wcp import WCPDetector
 from repro.obs.schema import ANALYZE_SCHEMA_ID
 from repro.static.lockset import LocksetResult, analyze_locksets, cross_check
@@ -338,12 +339,20 @@ class Vindicator:
             reports bit-identical to serial (worker-count metadata and
             reachability cache counters excepted — see
             ``docs/PARALLEL.md``).
+        variant: ``"reference"`` (default) runs the dict-backed WCP/DC
+            detectors; ``"fast"`` runs the SmartTrack-style epoch/dense
+            kernel variants (:mod:`repro.analysis.smarttrack`, the
+            ``--fast-vc`` CLI switch) — verdict-identical (races, DC
+            constraint graph, counters), substantially faster. HB always
+            runs the reference detector (it is not the bottleneck and
+            its ``racing_at`` drives classification).
     """
 
     def __init__(self, vindicate_all: bool = False, policy: str = "latest",
                  check_witnesses: bool = True, transitive_force: bool = True,
                  use_window: bool = False, prefilter: bool = False,
-                 sanitize: bool = False, jobs: int = 1):
+                 sanitize: bool = False, jobs: int = 1,
+                 variant: str = "reference"):
         self.vindicate_all = vindicate_all
         self.policy = policy
         self.check_witnesses = check_witnesses
@@ -361,6 +370,11 @@ class Vindicator:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         #: Worker processes (1 = serial).
         self.jobs = jobs
+        if variant not in ("reference", "fast"):
+            raise ValueError(
+                f"variant must be 'reference' or 'fast', got {variant!r}")
+        #: Detector implementation: "reference" or "fast" (epoch/dense).
+        self.variant = variant
 
     def run(self, trace: Trace) -> VindicatorReport:
         """Analyze ``trace`` end to end."""
@@ -383,8 +397,12 @@ class Vindicator:
             if self.prefilter:
                 candidates = lockset.race_candidates
         hb = HBDetector(prefilter=candidates)
-        wcp = WCPDetector(prefilter=candidates)
-        dc = DCDetector(build_graph=True, prefilter=candidates)
+        if self.variant == "fast":
+            wcp: WCPDetector = EpochWCPDetector(prefilter=candidates)  # type: ignore[assignment]
+            dc: DCDetector = EpochDCDetector(build_graph=True, prefilter=candidates)  # type: ignore[assignment]
+        else:
+            wcp = WCPDetector(prefilter=candidates)
+            dc = DCDetector(build_graph=True, prefilter=candidates)
         for detector in (hb, wcp, dc):
             detector.transitive_force = self.transitive_force
         start = time.perf_counter()
@@ -473,7 +491,7 @@ class Vindicator:
             analysis = engine.run_analysis(
                 trace, jobs=self.jobs,
                 transitive_force=self.transitive_force,
-                prefilter=candidates)
+                prefilter=candidates, variant=self.variant)
             sp.annotate("events", len(trace))
             sp.annotate("jobs", min(3, self.jobs))
         hb_report, wcp_report, dc_report = analysis.hb, analysis.wcp, analysis.dc
