@@ -26,6 +26,11 @@ The SmartTrack-style epoch/ownership variants
 Table 4 analog and in a dedicated reference-vs-epoch comparison
 (``test_smarttrack_speedup``) that asserts the PR's speedup floors and
 writes machine-readable ``BENCH_smarttrack.json``.
+
+The batched interpreter (:mod:`repro.analysis.batch`) likewise gets
+Table 4 rows plus its own floored comparison (``test_batch_speedup``,
+``BENCH_batch.json``); both are skipped cleanly when numpy is absent —
+it is the only optional dependency in the tree.
 """
 
 import pytest
@@ -42,6 +47,12 @@ from repro.runtime.workloads import WORKLOADS
 from repro.static.lockset import analyze_locksets
 
 from harness import write_json, write_result
+
+try:
+    from repro.analysis.batch import BatchDCDetector, BatchWCPDetector
+    HAVE_BATCH = True
+except ImportError:  # numpy not installed
+    HAVE_BATCH = False
 
 
 @pytest.fixture(scope="module")
@@ -79,6 +90,12 @@ CONFIGS = [
     ("DC + graph G", lambda: DCDetector(build_graph=True)),
     ("DC epoch + graph G", lambda: EpochDCDetector(build_graph=True)),
 ]
+if HAVE_BATCH:
+    CONFIGS += [
+        ("WCP batch", lambda: BatchWCPDetector()),
+        ("DC batch (no graph)", lambda: BatchDCDetector(build_graph=False)),
+        ("DC batch + graph G", lambda: BatchDCDetector(build_graph=True)),
+    ]
 
 
 def _run(trace, factory):
@@ -316,3 +333,107 @@ def test_smarttrack_speedup(perf_trace, raw_trace, benchmark):
         assert ratio >= floor, \
             f"{label}: {ratio:.2f}x below the {floor:.1f}x floor"
     benchmark(lambda: EpochDCDetector(build_graph=True).analyze(raw_trace))
+
+
+#: Reference-vs-batched pairs and the speedup floor each must clear on
+#: the raw xalan stream (the ISSUE's acceptance bar is WCP >= 5x; the
+#: DC floors are set from measured headroom — graph construction is
+#: per-event work batching cannot remove).
+BATCH_PAIRS = [
+    ("WCP", 5.0,
+     lambda: WCPDetector(), lambda: BatchWCPDetector()),
+    ("DC (no graph)", 2.5,
+     lambda: DCDetector(build_graph=False),
+     lambda: BatchDCDetector(build_graph=False)),
+    ("DC + graph G", 1.8,
+     lambda: DCDetector(build_graph=True),
+     lambda: BatchDCDetector(build_graph=True)),
+] if HAVE_BATCH else []
+
+
+@pytest.mark.skipif(not HAVE_BATCH, reason="numpy not installed")
+def test_batch_speedup(perf_trace, raw_trace, benchmark):
+    """Reference vs batched detectors on the same traces: assert the
+    ISSUE's floors (WCP >= 5x on the raw xalan stream) and write
+    ``batch.txt`` / ``BENCH_batch.json``.
+
+    Methodology matches ``test_smarttrack_speedup``: floors on the raw
+    event stream (the batched fraction is exactly the thread-local
+    access bulk the fast-path filter would strip), the filtered trace
+    reported alongside without floors, both sides best-of-5
+    back-to-back in one process so the ratio is machine-independent.
+    """
+    n = len(raw_trace)
+    rows = []
+    filtered_rows = []
+    stats = {}
+    for label, floor, ref_factory, batch_factory in BATCH_PAIRS:
+        # Warm-up runs double as an end-to-end verdict-identity check
+        # (the full bit-identity contract lives in
+        # tests/test_batch_differential.py).
+        ref_report = ref_factory().analyze(raw_trace)
+        batch_det = batch_factory()
+        batch_report = batch_det.analyze(raw_trace)
+        assert ([(r.first.eid, r.second.eid) for r in ref_report.races]
+                == [(r.first.eid, r.second.eid)
+                    for r in batch_report.races]), \
+            f"{label}: batched variant changed the race set"
+        fs = batch_det.fast_stats()
+        assert fs["batch_events"] + fs["batch_fallback_events"] == n
+        stats[label] = {key: fs[key] for key in
+                        ("batch_runs", "batch_events",
+                         "batch_fallback_events")}
+        ref = best_of(lambda: ref_factory().analyze(raw_trace), repeats=5)
+        fast = best_of(lambda: batch_factory().analyze(raw_trace), repeats=5)
+        rows.append((label, floor, n / ref, n / fast, ref / fast))
+        fref = best_of(lambda: ref_factory().analyze(perf_trace), repeats=5)
+        ffast = best_of(lambda: batch_factory().analyze(perf_trace),
+                        repeats=5)
+        filtered_rows.append((label, len(perf_trace) / fref,
+                              len(perf_trace) / ffast, fref / ffast))
+    dc_stats = stats["DC + graph G"]
+    coverage = dc_stats["batch_events"] / n
+    lines = [f"Batched interpretation on the {n}-event raw xalan trace "
+             f"(best of 5)",
+             f"{'configuration':22s} | {'ref ev/s':>12s} | "
+             f"{'batch ev/s':>12s} | {'speedup':>8s} | {'floor':>6s}",
+             "-" * 74]
+    for label, floor, ref_eps, fast_eps, ratio in rows:
+        lines.append(f"{label:22s} | {ref_eps:12,.0f} | {fast_eps:12,.0f} | "
+                     f"{ratio:7.2f}x | {floor:5.1f}x")
+    lines.append("")
+    lines.append(f"after fast-path filtering ({len(perf_trace)} events, "
+                 "sync-op-heavy; no floors):")
+    for label, ref_eps, fast_eps, ratio in filtered_rows:
+        lines.append(f"{label:22s} | {ref_eps:12,.0f} | {fast_eps:12,.0f} | "
+                     f"{ratio:7.2f}x |      -")
+    lines.append("")
+    lines.append(f"segmentation: {dc_stats['batch_events']:,} of {n:,} "
+                 f"events batched ({coverage:.0%}) in "
+                 f"{dc_stats['batch_runs']:,} runs; "
+                 f"{dc_stats['batch_fallback_events']:,} fallback events "
+                 "still per-event dispatched")
+    write_result("batch.txt", "\n".join(lines))
+    write_json("BENCH_batch.json", {
+        "trace": {"workload": "xalan", "scale": 2.0, "seed": 1, "events": n,
+                  "filtered_events": len(perf_trace)},
+        "best_of": 5,
+        "rows": [
+            {"configuration": label,
+             "floor": floor,
+             "reference_events_per_sec": round(ref_eps, 1),
+             "batch_events_per_sec": round(fast_eps, 1),
+             "speedup": round(ratio, 3)}
+            for label, floor, ref_eps, fast_eps, ratio in rows],
+        "filtered_rows": [
+            {"configuration": label,
+             "reference_events_per_sec": round(ref_eps, 1),
+             "batch_events_per_sec": round(fast_eps, 1),
+             "speedup": round(ratio, 3)}
+            for label, ref_eps, fast_eps, ratio in filtered_rows],
+        "batch_stats": stats,
+    })
+    for label, floor, _, _, ratio in rows:
+        assert ratio >= floor, \
+            f"{label}: {ratio:.2f}x below the {floor:.1f}x floor"
+    benchmark(lambda: BatchDCDetector(build_graph=True).analyze(raw_trace))

@@ -266,10 +266,15 @@ class Detector(abc.ABC):
         """Is ``prior`` ordered (under this relation ∪ PO) before the next
         event of thread ``tid``, given the trace prefix processed so far?"""
 
-    def on_forced_order(self, prior: Event, e: Event) -> None:
-        """Called when a detected race forces ``prior ≺ e`` (Section 6.1);
-        graph-building detectors override this to mirror the forced
-        ordering as a constraint-graph edge."""
+    def on_forced_order(self, prior: Event, e: Event,
+                        snapshot: Optional[VectorClock]) -> None:
+        """Called when a detected race forces ``prior ≺ e`` (Section 6.1),
+        after the prior's component (and, under transitive forcing, its
+        stored clock ``snapshot``) was joined into the analysis clock.
+        Graph-building detectors override this to mirror the forced
+        ordering as a constraint-graph edge; WCP overrides it to treat
+        the forced edge as *hard* (joined into H as well as P) so the
+        ordering propagates through its H-only snapshots."""
 
     # ------------------------------------------------------------------
     # Shared race check
@@ -332,7 +337,7 @@ class Detector(abc.ABC):
                                 # ordered before it.
                                 clock.join(snapshot)
                                 self._n_joins += 1
-                            self.on_forced_order(prior, e)
+                            self.on_forced_order(prior, e, snapshot)
 
         snapshot2: Optional[VectorClock]
         if self.force_order and self.transitive_force:

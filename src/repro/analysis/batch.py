@@ -1,0 +1,517 @@
+"""Batched trace interpretation over the packed columnar encoding.
+
+:class:`BatchWCPDetector` and :class:`BatchDCDetector` are drop-in
+replacements for the SmartTrack epoch detectors
+(:mod:`repro.analysis.smarttrack`) that leave per-event Python dispatch
+behind for the bulk of a trace. They consume the packed columnar
+encoding (:mod:`repro.traces.packed`) directly: one numpy pass over the
+``kinds`` / ``tid_idx`` / ``target_idx`` / ``local_time`` columns
+segments the trace into per-thread runs of *batchable* events and a
+sparse set of *fallback* events that still go through the epoch
+per-event path, in trace order.
+
+An access event is batchable exactly when the per-event interpreter
+would provably treat it as pure thread-local bookkeeping:
+
+* it is a plain read or write (never a sync operation),
+* it does not consume a pending fork edge (it is not the target
+  thread's first event after a fork), and
+* its variable is accessed by a *single thread over the whole trace*
+  (the reference skips the race scan outright for such variables; the
+  metadata it records — last accesses, clock snapshots, rule (a)
+  critical-section recordings — is only ever consumed by *other*
+  threads accessing the same variable, so for these it is dead
+  weight), or, with a prefilter installed, the variable is not a race
+  candidate *and* no lock is held (the reference skips the check
+  entirely, but a held access to a shared variable still does real
+  rule (a) work).
+
+Such events cannot race, cannot force an ordering, and never publish
+their clock through any propagation channel, so the only observable
+work they do is: the prefilter counters (summed vectorized with
+``np.bincount``-style reductions), the DC program-order graph edges
+(bulk-inserted between fallback events, preserving the reference's
+dst-ordered insertion order), and their thread clock's own component
+(caught up with a vectorized per-thread ``np.maximum`` fold over the
+``local_time`` column at join points and at end of trace — the dense
+clock kernel's join, applied to a whole column at once). Everything
+else — sync events, lock-protected accesses, first-contention
+promotions, races, forced edges — runs through the inherited epoch
+fast paths unchanged, so verdicts, counters, ``racing_at``, and the DC
+constraint graph are bit-identical to the reference detectors.
+
+Fallbacks are rare on realistic traces (the Table 4 xalan stream is
+~94% single-accessor plain accesses), which is where the speedup comes
+from: the per-event interpreter simply never sees those events.
+
+Batch statistics are published under ``analysis.<relation>_batch.*``:
+``batch_runs`` / ``batch_events`` / ``batch_fallback_events`` counters
+and a ``run_events`` histogram of events per batched run.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Collection, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.analysis.races import RaceReport
+from repro.analysis.smarttrack import EpochDCDetector, EpochWCPDetector
+from repro.core.events import EventKind, Target
+from repro.core.trace import Trace
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+from repro.traces.packed import KIND_ORDER, PackedTrace, pack
+
+__all__ = ["BatchDCDetector", "BatchWCPDetector", "seed_packed"]
+
+_KIND_CODE: Dict[EventKind, int] = {kind: i for i, kind in enumerate(KIND_ORDER)}
+_READ = _KIND_CODE[EventKind.READ]
+_WRITE = _KIND_CODE[EventKind.WRITE]
+_ACQ = _KIND_CODE[EventKind.ACQUIRE]
+_REL = _KIND_CODE[EventKind.RELEASE]
+_FORK = _KIND_CODE[EventKind.FORK]
+_JOIN = _KIND_CODE[EventKind.JOIN]
+
+
+def _column(buffer: "Any", dtype: "Any") -> "Any":
+    """A zero-copy int64/bool-ready numpy view of a packed column."""
+    return np.frombuffer(buffer, dtype=dtype).astype(np.int64)
+
+
+class _BatchPlan:
+    """Trace-wide numpy segmentation, computed once per trace and shared
+    by every batch detector run over it (WCP, DC, repeated pipelines).
+
+    Everything here is prefilter-independent; detectors combine these
+    masks with their own candidate set in :meth:`_BatchMixin._segment`.
+    """
+
+    __slots__ = ("n", "T", "tid", "tgt", "lt", "prev", "access",
+                 "unbatchable", "held", "multi_ev", "order", "same",
+                 "join_fix", "last_pos", "targets", "seg_cache")
+
+    def __init__(self, trace: Trace, packed: PackedTrace):
+        n = len(packed)
+        self.n = n
+        T = len(packed.tids)
+        self.T = T
+        kinds = _column(packed.kinds, np.uint8)
+        tid = _column(packed.tid_idx, np.uint32)
+        tgt = _column(packed.target_idx, np.int32)
+        lt = _column(packed.local_time, np.uint32)
+        self.tid = tid
+        self.tgt = tgt
+        self.lt = lt
+        self.targets = packed.targets
+
+        access = kinds <= _WRITE
+        self.access = access
+
+        # Previous same-thread event per position (-1 if none): group
+        # positions by thread with a stable argsort, shift within groups.
+        order = np.argsort(tid, kind="stable")
+        self.order = order
+        prev = np.full(n, -1, dtype=np.int64)
+        if n > 1:
+            same = tid[order[1:]] == tid[order[:-1]]
+            prev[order[1:]] = np.where(same, order[:-1], -1)
+            self.same = same
+        else:
+            self.same = np.zeros(0, dtype=bool)
+        self.prev = prev
+
+        # Accesses under held locks: replay only the (rare) acquire /
+        # release events into per-thread depth transition lists, then
+        # look every access's depth up with one searchsorted per thread.
+        held = np.zeros(n, dtype=bool)
+        sync_pos = np.flatnonzero((kinds == _ACQ) | (kinds == _REL))
+        if sync_pos.size:
+            depth_now = [0] * T
+            trans_pos: List[List[int]] = [[] for _ in range(T)]
+            trans_depth: List[List[int]] = [[] for _ in range(T)]
+            for p, k, u in zip(sync_pos.tolist(), kinds[sync_pos].tolist(),
+                               tid[sync_pos].tolist()):
+                d = depth_now[u] + (1 if k == _ACQ else -1)
+                if d < 0:  # malformed streams surface in the fallback path
+                    d = 0
+                depth_now[u] = d
+                trans_pos[u].append(p)
+                trans_depth[u].append(d)
+            for u in range(T):
+                tp = trans_pos[u]
+                if not tp:
+                    continue
+                apos = np.flatnonzero(access & (tid == u))
+                if not apos.size:
+                    continue
+                at = np.searchsorted(np.asarray(tp), apos, side="right") - 1
+                seen = at >= 0
+                depths = np.asarray(trans_depth[u])
+                held_u = np.zeros(apos.size, dtype=bool)
+                held_u[seen] = depths[at[seen]] > 0
+                held[apos] = held_u
+
+        # Fork consumption: the target thread's first event after each
+        # fork joins the parent snapshot (and, for DC, adds the fork
+        # edge), so it must run through the per-event path.
+        forkc = np.zeros(n, dtype=bool)
+        pool_ix = {t: i for i, t in enumerate(packed.tids)}
+        fork_pos = np.flatnonzero(kinds == _FORK)
+        join_pos = np.flatnonzero(kinds == _JOIN)
+        tpos: Optional[List["Any"]] = None
+        if fork_pos.size or join_pos.size:
+            tpos = [np.flatnonzero(tid == u) for u in range(T)]
+        for p in fork_pos.tolist():
+            u = pool_ix.get(packed.targets[tgt[p]])
+            if u is None:
+                continue  # forked thread never executes an event
+            assert tpos is not None
+            ps = tpos[u]
+            j = int(np.searchsorted(ps, p, side="right"))
+            if j < ps.size:
+                forkc[ps[j]] = True
+
+        # Joins read the child's clock (and, for DC, its last event), so
+        # the driver must catch the child's own component up to its last
+        # event before the join — batched child events skip the advance.
+        join_fix: Dict[int, Tuple[int, int]] = {}
+        for p in join_pos.tolist():
+            u = pool_ix.get(packed.targets[tgt[p]])
+            if u is None:
+                continue
+            assert tpos is not None
+            ps = tpos[u]
+            j = int(np.searchsorted(ps, p, side="left")) - 1
+            if j >= 0:
+                join_fix[p] = (u, int(ps[j]))
+        self.join_fix = join_fix
+
+        # Whole-trace multi-accessor variables (their accesses can scan,
+        # race, and force — all per-event work).
+        multi_ev = np.zeros(n, dtype=bool)
+        apos_all = np.flatnonzero(access)
+        if apos_all.size:
+            n_targets = len(packed.targets)
+            pairs = np.unique(tgt[apos_all] * T + tid[apos_all])
+            accessors = np.bincount(pairs // T, minlength=n_targets)
+            multi_ev[apos_all] = (accessors >= 2)[tgt[apos_all]]
+        self.multi_ev = multi_ev
+
+        # Not batchable under any prefilter: sync / begin / end events
+        # and fork-consuming events. Lock-protected accesses are kept
+        # separately: rule (a) is a no-op for them unless the variable
+        # is multi-accessor (`join_into` skips same-thread records, and
+        # the recordings they leave behind are only ever consumed by
+        # other threads of the same variable).
+        self.unbatchable = ~access | forkc
+        self.held = held
+
+        # Per-thread last event position: a vectorized fold of the
+        # position column per thread index (the dense kernel's join,
+        # applied to whole columns), for the end-of-trace catch-up.
+        last_pos = np.full(T, -1, dtype=np.int64)
+        if n:
+            np.maximum.at(last_pos, tid, np.arange(n, dtype=np.int64))
+        self.last_pos = last_pos
+
+        #: Cached prefilter-free segmentation (see _BatchMixin._segment).
+        self.seg_cache: Optional[Tuple["Any", int, int, "Any"]] = None
+
+
+#: One plan (and one packed encoding) per trace; weak keys keep the
+#: cache from pinning traces, mirroring smarttrack's _INDEX_CACHE.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[Trace, _BatchPlan]" = (
+    weakref.WeakKeyDictionary())
+_PACKED_CACHE: "weakref.WeakKeyDictionary[Trace, PackedTrace]" = (
+    weakref.WeakKeyDictionary())
+
+
+def seed_packed(trace: Trace, packed: PackedTrace) -> None:
+    """Register ``packed`` as ``trace``'s packed encoding so the batch
+    detectors reuse it instead of re-packing (the parallel workers
+    already hold one per pool)."""
+    _PACKED_CACHE[trace] = packed
+
+
+def _plan_for(trace: Trace) -> _BatchPlan:
+    plan = _PLAN_CACHE.get(trace)
+    if plan is None:
+        packed = _PACKED_CACHE.get(trace)
+        if packed is None:
+            packed = pack(trace)
+            _PACKED_CACHE[trace] = packed
+        plan = _BatchPlan(trace, packed)
+        _PLAN_CACHE[trace] = plan
+    return plan
+
+
+class _BatchMixin:
+    """The batched driver shared by :class:`BatchWCPDetector` and
+    :class:`BatchDCDetector`; mixed in ahead of the epoch detectors so
+    :meth:`analyze` replaces the per-event loop while streaming use
+    (``begin_trace`` / ``handle`` / ``finish``) stays pure epoch."""
+
+    _batch_runs = 0
+    _batch_events = 0
+    _batch_fallback = 0
+    _needs_po_flush = False
+    _run_lengths: Optional["Any"] = None
+
+    def metric_label(self) -> str:
+        return self.relation.lower().replace("/", "_") + "_batch"  # type: ignore[attr-defined]
+
+    def begin_trace(self, trace: Trace) -> None:
+        super().begin_trace(trace)  # type: ignore[misc]
+        self._batch_runs = 0
+        self._batch_events = 0
+        self._batch_fallback = 0
+        self._run_lengths = None
+
+    def analyze(self, trace: Trace) -> RaceReport:
+        with obs.span(f"analysis.{self.metric_label()}") as sp:
+            self.begin_trace(trace)
+            self._drive(trace)
+            report = self.finish()  # type: ignore[attr-defined]
+            sp.annotate("events", len(trace))
+            sp.annotate("races", len(report.races))
+        return report
+
+    def analyze_packed(self, packed: PackedTrace,
+                       trace: Optional[Trace] = None) -> RaceReport:
+        """Analyze a packed trace directly (unpacking once and reusing
+        the packed columns for segmentation)."""
+        if trace is None:
+            trace = packed.unpack()
+        seed_packed(trace, packed)
+        return self.analyze(trace)
+
+    # ------------------------------------------------------------------
+    # Segmentation (vectorized over the packed columns)
+    # ------------------------------------------------------------------
+    def _segment(self, plan: _BatchPlan) -> "Any":
+        """The batched-event mask for this detector's prefilter, plus
+        the per-thread run lengths (a run: consecutive batched events of
+        one thread not interrupted by a fallback event *of that
+        thread*)."""
+        prefilter = self.prefilter  # type: ignore[attr-defined]
+        if prefilter is None:
+            if plan.seg_cache is not None:  # trace-invariant: cache it
+                return plan.seg_cache
+            batched = plan.access & ~plan.unbatchable & ~plan.multi_ev
+            skips = checks = 0
+        else:
+            cand = np.fromiter((t in prefilter for t in plan.targets),
+                               dtype=bool, count=len(plan.targets))
+            cand_ev = np.zeros(plan.n, dtype=bool)
+            apos = np.flatnonzero(plan.access)
+            if apos.size:
+                cand_ev[apos] = cand[plan.tgt[apos]]
+            # Non-candidate accesses skip the race check entirely, so
+            # they are batchable even for shared variables — but a held
+            # access to a shared variable still does rule (a) work.
+            batched = plan.access & ~plan.unbatchable & (
+                ~plan.multi_ev | ~cand_ev) & ~(plan.held & plan.multi_ev)
+            skips = int(np.count_nonzero(batched & ~cand_ev))
+            checks = int(np.count_nonzero(batched & cand_ev))
+
+        # Run statistics, in thread-grouped order: a batched event opens
+        # a new run unless its same-thread predecessor was also batched.
+        order = plan.order
+        grouped = batched[order]
+        if plan.n > 1:
+            prev_grouped = np.concatenate(([False], grouped[:-1]))
+            prev_same = np.concatenate(([False], plan.same))
+            starts = grouped & ~(prev_same & prev_grouped)
+        else:
+            starts = grouped.copy()
+        idx = np.flatnonzero(grouped)
+        sidx = np.flatnonzero(starts)
+        if idx.size:
+            run_bounds = np.searchsorted(idx, sidx)
+            lengths = np.diff(np.concatenate((run_bounds, [idx.size])))
+        else:
+            lengths = np.zeros(0, dtype=np.int64)
+        result = (batched, skips, checks, lengths)
+        if prefilter is None:
+            plan.seg_cache = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _catchup_thread(self, ti: int, t: int, last_eid: int) -> None:
+        """Advance thread ``ti``'s own clock component to ``t`` (its
+        last processed event's local time), creating the clock if the
+        thread ran only batched events."""
+        raise NotImplementedError
+
+    def _po_setup(self, plan: _BatchPlan, batched: "Any") -> None:
+        """Prepare bulk program-order edge insertion (DC graph only)."""
+
+    def _po_flush(self, pos: int) -> None:
+        """Insert batched events' PO edges with dst < ``pos`` (DC)."""
+
+    def _fix_prev(self, eid: int, ti: int, prev_eid: int) -> None:
+        """Restore per-thread last-event bookkeeping before a fallback
+        event whose same-thread predecessor was batched (DC)."""
+
+    # ------------------------------------------------------------------
+    # The driver
+    # ------------------------------------------------------------------
+    def _drive(self, trace: Trace) -> None:
+        plan = _plan_for(trace)
+        batched, skips, checks, lengths = self._segment(plan)
+        self._filter_skips += skips  # type: ignore[attr-defined]
+        self._filter_checks += checks  # type: ignore[attr-defined]
+        self._run_lengths = lengths
+        self._batch_runs = int(lengths.size)
+        self._batch_events = int(np.count_nonzero(batched))
+        self._batch_fallback = plan.n - self._batch_events
+
+        # Packed thread indices -> this run's TidTable indices (the
+        # epoch preprocessing may intern additional forked-but-never-run
+        # threads, so the spaces are aligned explicitly).
+        ix = self._ix  # type: ignore[attr-defined]
+        assert ix is not None
+        to_ix = [ix.table.index[t] for t in trace.threads]
+
+        self._po_setup(plan, batched)
+        events = trace.events
+        handle = self.handle  # type: ignore[attr-defined]
+        join_fix = plan.join_fix
+        lt_col = plan.lt
+
+        # Vectorize the per-fallback bookkeeping lookups: which events
+        # need their same-thread predecessor restored (it was batched),
+        # and each fallback event's thread index — numpy scalar indexing
+        # inside the loop would cost more than the loop body.
+        fpos = np.flatnonzero(~batched)
+        fprev = plan.prev[fpos]
+        need_fix = fprev >= 0
+        need_fix[need_fix] = batched[fprev[need_fix]]
+        fix_prev = np.where(need_fix, fprev, -1).tolist()
+        ftid = plan.tid[fpos].tolist()
+        flush = self._needs_po_flush
+        for pos, fp, u in zip(fpos.tolist(), fix_prev, ftid):
+            if flush:
+                self._po_flush(pos)
+            fix = join_fix.get(pos)
+            if fix is not None:
+                cu, child_last = fix
+                self._catchup_thread(to_ix[cu], int(lt_col[child_last]),
+                                     child_last)
+            if fp >= 0:
+                self._fix_prev(pos, to_ix[u], fp)
+            handle(events[pos])
+        if flush:
+            self._po_flush(plan.n)
+
+        # End-of-trace catch-up: every thread's own component reaches
+        # its final event's local time, exactly as the per-event
+        # interpreter leaves it (clock_of / ordered_to_current parity).
+        for u, last in enumerate(plan.last_pos.tolist()):
+            if last >= 0:
+                self._catchup_thread(to_ix[u], int(lt_col[last]), last)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def fast_stats(self) -> Dict[str, int]:
+        stats: Dict[str, int] = super().fast_stats()  # type: ignore[misc]
+        stats["batch_runs"] = self._batch_runs
+        stats["batch_events"] = self._batch_events
+        stats["batch_fallback_events"] = self._batch_fallback
+        return stats
+
+    def _publish(self, reg: obs.AnyRegistry) -> None:
+        super()._publish(reg)  # type: ignore[misc]
+        lengths = self._run_lengths
+        if lengths is not None and lengths.size:
+            hist = reg.histogram(
+                f"analysis.{self.metric_label()}.run_events",
+                DEFAULT_SIZE_BUCKETS)
+            for length in lengths.tolist():
+                hist.observe(length)
+
+
+class BatchWCPDetector(_BatchMixin, EpochWCPDetector):
+    """Batched WCP detector (verdict-identical to
+    :class:`~repro.analysis.wcp.WCPDetector`).
+
+    Batched events contribute no WCP state at all — P never carries own
+    program order and batched snapshots are never consumed — so the
+    whole batched fraction of the trace reduces to the vectorized
+    segmentation pass plus own-component catch-ups at joins and at end
+    of trace.
+    """
+
+    def __init__(self, prefilter: Optional[Collection[Target]] = None):
+        EpochWCPDetector.__init__(self, prefilter)
+
+    def _catchup_thread(self, ti: int, t: int, last_eid: int) -> None:
+        h = self._h[ti]
+        if h is None:
+            h = self._h[ti] = [0] * self._T
+            self._p[ti] = [0] * self._T
+        if h[ti] < t:
+            h[ti] = t
+
+
+class BatchDCDetector(_BatchMixin, EpochDCDetector):
+    """Batched DC detector (verdict- and graph-identical to
+    :class:`~repro.analysis.dc.DCDetector`).
+
+    Batched events still owe the constraint graph their program-order
+    edges; they are bulk-inserted between fallback events in ascending
+    destination order — exactly the reference's insertion order, since
+    every reference edge is added while processing its destination.
+    """
+
+    def __init__(self, build_graph: bool = True,
+                 prefilter: Optional[Collection[Target]] = None):
+        EpochDCDetector.__init__(self, build_graph, prefilter)
+        self._po_src: List[int] = []
+        self._po_dst: List[int] = []
+        self._po_i = 0
+
+    def _catchup_thread(self, ti: int, t: int, last_eid: int) -> None:
+        values = self._values[ti]
+        if values is None:
+            values = self._values[ti] = [0] * self._T
+        if values[ti] < t:
+            values[ti] = t
+        if self._last_event[ti] < last_eid:
+            self._last_event[ti] = last_eid
+
+    def _po_setup(self, plan: _BatchPlan, batched: "Any") -> None:
+        if not self.build_graph:
+            self._po_src = []
+            self._po_dst = []
+            self._po_i = 0
+            self._needs_po_flush = False
+            return
+        dst = np.flatnonzero(batched & (plan.prev >= 0))
+        self._po_dst = dst.tolist()
+        self._po_src = plan.prev[dst].tolist()
+        self._po_i = 0
+        self._needs_po_flush = True
+
+    def _po_flush(self, pos: int) -> None:
+        i = self._po_i
+        dst = self._po_dst
+        if i >= len(dst):
+            return
+        src = self._po_src
+        add_edge = self.graph.add_edge
+        while i < len(dst) and dst[i] < pos:
+            add_edge(src[i], dst[i])
+            i += 1
+        self._po_i = i
+
+    def _fix_prev(self, eid: int, ti: int, prev_eid: int) -> None:
+        # The inherited _advance reads _last_event[ti] for the PO edge;
+        # batched predecessors never wrote it.
+        if self._last_event[ti] < prev_eid:
+            self._last_event[ti] = prev_eid

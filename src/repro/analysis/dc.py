@@ -119,7 +119,10 @@ class DCDetector(Detector):
         for src in sources:
             self._add_edge(src, dst)
 
-    def on_forced_order(self, prior: Event, e: Event) -> None:
+    def on_forced_order(self, prior: Event, e: Event,
+                        snapshot: Optional[VectorClock]) -> None:
+        # The snapshot was already joined by check_access; DC's single
+        # clock carries it everywhere, so only the graph needs the edge.
         self._add_edge(prior.eid, e.eid)
         self.bump("forced_orders")
 

@@ -37,11 +37,12 @@ analyses, adapted to this repo's exact reference semantics:
   propagation channel (access snapshots, release clocks, rule (a)/(b)
   records, fork copies) then carries full post-force snapshots. The
   gates check both flags at consult time and fall back to the exact
-  scan otherwise. They are *never* used for WCP: a forced WCP ordering
-  mutates only the P clock while P components also propagate through H
-  snapshots that do not carry the forced information, so the implication
-  fails. (The flags must not be flipped mid-trace — the same caveat the
-  reference detectors carry.)
+  scan otherwise. They are *never* used for WCP: the access snapshots
+  are P clocks, but rules (a)/(b) join H snapshots into P only, so a P
+  component reaching another thread never implies that thread covers
+  the source's full P snapshot — the implication fails. (The flags must
+  not be flipped mid-trace — the same caveat the reference detectors
+  carry.)
 
 * **Lock ownership (DC only)** — rule (b) at a release by the only
   thread that ever acquired the lock is a provable no-op (the thread's
@@ -538,7 +539,7 @@ class _EpochDetectorBase(Detector):
                             join_into_list(values, rec[2])
                             self._n_joins += 1
                         self._snap_ok[ti] = False
-                        self.on_forced_order(rec[1], e)
+                        self._forced_order_dense(rec[1], e, rec[2])
         snap2 = self._take_snapshot(ti, values)
         if is_write:
             writes[ti] = (t, e, snap2)
@@ -557,6 +558,12 @@ class _EpochDetectorBase(Detector):
                 else:
                     st.rg_shared = True
                     self._n_inflations += 1
+
+    def _forced_order_dense(self, prior: Event, e: Event,
+                            snapshot: Optional[List[int]]) -> None:
+        """Dense analog of :meth:`Detector.on_forced_order`, called by
+        :meth:`_check_shared` with the racing prior's stored snapshot
+        list after the force was joined into the analysis clock."""
 
     # ------------------------------------------------------------------
     # Queries shared by both subclasses
@@ -758,6 +765,21 @@ class EpochWCPDetector(_EpochDetectorBase):
 
     def on_write(self, e: Event) -> None:
         self._on_access(e, True)
+
+    def _forced_order_dense(self, prior: Event, e: Event,
+                            snapshot: Optional[List[int]]) -> None:
+        # Forced race edges are hard orderings: mirror them into H as
+        # well as P so they survive WCP's H-only propagation channels
+        # (see WCPDetector.on_forced_order for the full rationale).
+        h = self._h[self._tix[e.eid]]
+        assert h is not None
+        u = self._tix[prior.eid]
+        prior_t = self._lt[prior.eid]
+        if h[u] < prior_t:
+            h[u] = prior_t
+        if self.transitive_force and snapshot is not None:
+            join_into_list(h, snapshot)
+            self._n_joins += 1
 
     # ------------------------------------------------------------------
     # Lock operations
@@ -967,7 +989,10 @@ class EpochDCDetector(_EpochDetectorBase):
             self.graph.add_edge(src, dst)
             self._n_graph_edges += 1
 
-    def on_forced_order(self, prior: Event, e: Event) -> None:
+    def _forced_order_dense(self, prior: Event, e: Event,
+                            snapshot: Optional[List[int]]) -> None:
+        # The snapshot was already joined by _check_shared; DC's single
+        # clock carries it everywhere, so only the graph needs the edge.
         self._add_edge(prior.eid, e.eid)
         self.bump("forced_orders")
 

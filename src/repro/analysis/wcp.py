@@ -221,6 +221,40 @@ class WCPDetector(Detector):
         self._advance(e)
 
     # ------------------------------------------------------------------
+    # Forced race edges
+    # ------------------------------------------------------------------
+    def on_forced_order(self, prior: Event, e: Event,
+                        snapshot: Optional[VectorClock]) -> None:
+        """Mirror a forced race edge into the H clock.
+
+        A forced ordering is as hard as fork/join/volatile edges: it is
+        an ordering every later event must respect, not something a
+        reordering could undo. Joining it into P alone is not enough —
+        WCP's propagation channels (release / volatile / rule (a)/(b)
+        records) carry *H* snapshots, so a P-only forced edge would be
+        dropped the first time the ordering has to flow through another
+        thread (e.g. a volatile rd→wr chain), leaving a later access
+        WCP-racing where DC, whose single clock propagates everywhere,
+        is ordered — breaking WCP ⊆ DC racing-set nesting.
+
+        HB ⊆ WCP nesting is preserved: if the forced pair was HB-ordered
+        the H clock already covers ``prior`` (and hence its snapshot),
+        so the joins below are no-ops; if it was HB-unordered the HB
+        detector reported the same race and forced a superset (its full
+        clock) into its own clock.
+        """
+        h = self._h[e.tid]
+        assert self.trace is not None
+        prior_time = self.trace.local_time[prior.eid]
+        # Max semantics: rules (a)/(b) join H snapshots into P only, so
+        # P can transiently exceed H on a component; never lower H.
+        if h.get(prior.tid) < prior_time:
+            h.set(prior.tid, prior_time)
+        if self.transitive_force and snapshot is not None:
+            h.join(snapshot)
+            self._n_joins += 1
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def ordered_to_current(self, prior: Event, tid: Tid) -> bool:

@@ -65,6 +65,7 @@ def init_analysis(packed: PackedTrace, transitive_force: bool,
     """Pool initializer: unpack the trace once per worker process."""
     obs.disable()
     _STATE.clear()
+    _STATE["packed"] = packed
     _STATE["trace"] = packed.unpack()
     _STATE["transitive_force"] = transitive_force
     _STATE["prefilter"] = prefilter
@@ -84,23 +85,35 @@ def run_detector(which: str) -> Dict[str, Any]:
     """
     trace: Trace = _STATE["trace"]
     obs_on: bool = _STATE["obs_on"]
-    fast = _STATE.get("variant", "reference") == "fast"
+    variant = _STATE.get("variant", "reference")
     _obs_begin(obs_on)
     detector: Any
     if which == "hb":
         # HB has no epoch variant here: FastTrack's racing_at is not
         # equivalent, and HB is not the pipeline bottleneck.
         detector = HBDetector(prefilter=_STATE["prefilter"])
+    elif which not in ("wcp", "dc"):  # pragma: no cover - driver bug
+        raise ValueError(f"unknown detector {which!r}")
+    elif variant == "batch":
+        # Imported lazily: the batch interpreter needs numpy, which the
+        # reference and epoch paths must not depend on.
+        from repro.analysis.batch import (BatchDCDetector, BatchWCPDetector,
+                                          seed_packed)
+        # Reuse the pool's packed encoding instead of re-packing.
+        seed_packed(trace, _STATE["packed"])
+        detector = (BatchWCPDetector(prefilter=_STATE["prefilter"])
+                    if which == "wcp"
+                    else BatchDCDetector(build_graph=True,
+                                         prefilter=_STATE["prefilter"]))
     elif which == "wcp":
-        detector = (EpochWCPDetector(prefilter=_STATE["prefilter"]) if fast
+        detector = (EpochWCPDetector(prefilter=_STATE["prefilter"])
+                    if variant == "fast"
                     else WCPDetector(prefilter=_STATE["prefilter"]))
-    elif which == "dc":
+    else:
         detector = (
             EpochDCDetector(build_graph=True, prefilter=_STATE["prefilter"])
-            if fast
+            if variant == "fast"
             else DCDetector(build_graph=True, prefilter=_STATE["prefilter"]))
-    else:  # pragma: no cover - driver bug
-        raise ValueError(f"unknown detector {which!r}")
     detector.transitive_force = _STATE["transitive_force"]
     report = detector.analyze(trace)
     payload: Dict[str, Any] = {

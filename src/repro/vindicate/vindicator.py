@@ -343,10 +343,16 @@ class Vindicator:
             detectors; ``"fast"`` runs the SmartTrack-style epoch/dense
             kernel variants (:mod:`repro.analysis.smarttrack`, the
             ``--fast-vc`` CLI switch) — verdict-identical (races, DC
-            constraint graph, counters), substantially faster. HB always
-            runs the reference detector (it is not the bottleneck and
-            its ``racing_at`` drives classification).
+            constraint graph, counters), substantially faster;
+            ``"batch"`` runs the batched interpreter over the packed
+            columnar encoding (:mod:`repro.analysis.batch`, the
+            ``--batch`` CLI switch) — also verdict-identical, fastest,
+            requires numpy. HB always runs the reference detector (it
+            is not the bottleneck and its ``racing_at`` drives
+            classification).
     """
+
+    VARIANTS = ("reference", "fast", "batch")
 
     def __init__(self, vindicate_all: bool = False, policy: str = "latest",
                  check_witnesses: bool = True, transitive_force: bool = True,
@@ -370,10 +376,12 @@ class Vindicator:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         #: Worker processes (1 = serial).
         self.jobs = jobs
-        if variant not in ("reference", "fast"):
+        if variant not in self.VARIANTS:
             raise ValueError(
-                f"variant must be 'reference' or 'fast', got {variant!r}")
-        #: Detector implementation: "reference" or "fast" (epoch/dense).
+                f"variant must be one of {', '.join(map(repr, self.VARIANTS))}"
+                f", got {variant!r}")
+        #: Detector implementation: "reference", "fast" (epoch/dense),
+        #: or "batch" (packed-columnar batched interpreter).
         self.variant = variant
 
     def run(self, trace: Trace) -> VindicatorReport:
@@ -400,6 +408,12 @@ class Vindicator:
         if self.variant == "fast":
             wcp: WCPDetector = EpochWCPDetector(prefilter=candidates)  # type: ignore[assignment]
             dc: DCDetector = EpochDCDetector(build_graph=True, prefilter=candidates)  # type: ignore[assignment]
+        elif self.variant == "batch":
+            # Imported lazily: only the batch interpreter needs numpy.
+            from repro.analysis.batch import (BatchDCDetector,
+                                              BatchWCPDetector)
+            wcp = BatchWCPDetector(prefilter=candidates)  # type: ignore[assignment]
+            dc = BatchDCDetector(build_graph=True, prefilter=candidates)  # type: ignore[assignment]
         else:
             wcp = WCPDetector(prefilter=candidates)
             dc = DCDetector(build_graph=True, prefilter=candidates)
@@ -407,15 +421,25 @@ class Vindicator:
             detector.transitive_force = self.transitive_force
         start = time.perf_counter()
         with obs.span("pipeline.analysis") as sp:
-            for detector in (hb, wcp, dc):
-                detector.begin_trace(trace)
-            for event in trace:
-                hb.handle(event)
-                wcp.handle(event)
-                dc.handle(event)
-            hb_report = hb.finish()
-            wcp_report = wcp.finish()
-            dc_report = dc.finish()
+            if self.variant == "batch":
+                # The batch drivers consume the whole trace per
+                # detector; the detectors are independent, so
+                # back-to-back full passes produce the same reports as
+                # the per-event lockstep below (the parallel path
+                # already relies on this).
+                hb_report = hb.analyze(trace)
+                wcp_report = wcp.analyze(trace)
+                dc_report = dc.analyze(trace)
+            else:
+                for detector in (hb, wcp, dc):
+                    detector.begin_trace(trace)
+                for event in trace:
+                    hb.handle(event)
+                    wcp.handle(event)
+                    dc.handle(event)
+                hb_report = hb.finish()
+                wcp_report = wcp.finish()
+                dc_report = dc.finish()
             sp.annotate("events", len(trace))
         analysis_seconds = time.perf_counter() - start
 

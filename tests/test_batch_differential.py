@@ -1,0 +1,295 @@
+"""Differential tests: batched detectors vs the references.
+
+:class:`~repro.analysis.batch.BatchWCPDetector` and
+:class:`~repro.analysis.batch.BatchDCDetector` replace per-event
+dispatch with a vectorized segmentation pass that skips events the
+per-event interpreter would provably treat as thread-local no-ops, so
+they must be *bit-identical* to :class:`~repro.analysis.wcp.WCPDetector`
+/ :class:`~repro.analysis.dc.DCDetector`: same races in the same order,
+same ``racing_at`` sets, same counters, the same constraint-graph edge
+list (in insertion order — vindication depends on it), and the same
+end-of-trace clocks, under every ``force_order`` / ``transitive_force``
+combination and with or without the lockset prefilter.
+
+The adversarial cases target the batching machinery's edges: fork
+consumption by a batched-looking first event, joins whose child ran
+only batched events (the own-component catch-up), held accesses to
+single- vs multi-accessor variables (the rule (a) no-op argument),
+program-order graph edges bulk-inserted around fallback events, and
+streaming error parity (the streaming path is inherited from the epoch
+detectors unchanged).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.analysis.batch import BatchDCDetector, BatchWCPDetector
+from repro.analysis.dc import DCDetector
+from repro.analysis.wcp import WCPDetector
+from repro.core.exceptions import MalformedTraceError
+from repro.core.trace import TraceBuilder
+from repro.runtime import execute
+from repro.runtime.workloads import WORKLOADS
+from repro.static.lockset import analyze_locksets
+from repro.traces.gen import GeneratorConfig, random_trace
+from repro.traces.litmus import ALL as LITMUS
+from repro.traces.litmus import figure1, figure3
+from repro.vindicate.vindicator import Vindicator
+
+from test_parallel import normalize
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+configs = st.builds(
+    GeneratorConfig,
+    threads=st.integers(2, 4),
+    events=st.integers(6, 30),
+    variables=st.integers(1, 3),
+    locks=st.integers(1, 3),
+    max_nesting=st.integers(1, 3),
+    use_fork_join=st.booleans(),
+    volatiles=st.integers(0, 1),
+)
+
+seeds = st.integers(0, 10_000)
+
+FLAG_COMBOS = [(True, True), (True, False), (False, False)]
+flag_combos = st.sampled_from(FLAG_COMBOS)
+
+
+def assert_equivalent(ref, fast, trace, flags=(True, True), graphs=False):
+    reports = []
+    for det in (ref, fast):
+        det.force_order, det.transitive_force = flags
+        reports.append(det.analyze(trace))
+    ref_report, fast_report = reports
+    assert ([(r.first.eid, r.second.eid) for r in ref_report.races]
+            == [(r.first.eid, r.second.eid) for r in fast_report.races])
+    assert dict(ref.racing_at) == dict(fast.racing_at)
+    assert ref_report.counters == fast_report.counters
+    if graphs:
+        assert list(ref.graph.edges()) == list(fast.graph.edges())
+    # Batched events only ever touch a thread's own clock component, so
+    # the end-of-trace clocks must land exactly where the per-event
+    # interpreter leaves them (clock_of drives vindication re-queries).
+    for tid in trace.threads:
+        a, b = ref.clock_of(tid), fast.clock_of(tid)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert {t: a.get(t) for t in trace.threads} == \
+                   {t: b.get(t) for t in trace.threads}
+    return fast
+
+
+class TestRandomTraces:
+    @SETTINGS
+    @given(seed=seeds, config=configs, flags=flag_combos)
+    def test_wcp_differential(self, seed, config, flags):
+        trace = random_trace(seed, config)
+        assert_equivalent(WCPDetector(), BatchWCPDetector(), trace, flags)
+
+    @SETTINGS
+    @given(seed=seeds, config=configs, flags=flag_combos)
+    def test_dc_differential_with_graph(self, seed, config, flags):
+        trace = random_trace(seed, config)
+        assert_equivalent(DCDetector(build_graph=True),
+                          BatchDCDetector(build_graph=True),
+                          trace, flags, graphs=True)
+
+    @SETTINGS
+    @given(seed=seeds, config=configs)
+    def test_dc_differential_without_graph(self, seed, config):
+        trace = random_trace(seed, config)
+        assert_equivalent(DCDetector(build_graph=False),
+                          BatchDCDetector(build_graph=False), trace)
+
+    @SETTINGS
+    @given(seed=seeds, config=configs)
+    def test_prefilter_parity(self, seed, config):
+        trace = random_trace(seed, config)
+        candidates = analyze_locksets(trace.events).race_candidates
+        assert_equivalent(WCPDetector(prefilter=candidates),
+                          BatchWCPDetector(prefilter=candidates), trace)
+        assert_equivalent(DCDetector(prefilter=candidates),
+                          BatchDCDetector(prefilter=candidates),
+                          trace, graphs=True)
+
+
+class TestLitmusAndWorkloads:
+    @pytest.mark.parametrize("name", sorted(LITMUS))
+    @pytest.mark.parametrize("flags", FLAG_COMBOS,
+                             ids=["force+trans", "force", "off"])
+    def test_litmus(self, name, flags):
+        trace = LITMUS[name]()
+        assert_equivalent(WCPDetector(), BatchWCPDetector(), trace, flags)
+        assert_equivalent(DCDetector(), BatchDCDetector(), trace, flags,
+                          graphs=True)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workloads(self, name):
+        trace = execute(WORKLOADS[name](scale=0.3), seed=3)
+        assert_equivalent(WCPDetector(), BatchWCPDetector(), trace)
+        fast = assert_equivalent(DCDetector(), BatchDCDetector(), trace,
+                                 graphs=True)
+        stats = fast.fast_stats()
+        # Batching must actually engage on a realistic workload, and the
+        # accounting must cover the whole trace.
+        assert stats["batch_events"] > 0
+        assert stats["batch_runs"] > 0
+        assert (stats["batch_events"] + stats["batch_fallback_events"]
+                == len(trace))
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workloads_prefiltered(self, name):
+        trace = execute(WORKLOADS[name](scale=0.3), seed=3)
+        candidates = analyze_locksets(trace.events).race_candidates
+        assert_equivalent(WCPDetector(prefilter=candidates),
+                          BatchWCPDetector(prefilter=candidates), trace)
+        assert_equivalent(DCDetector(prefilter=candidates),
+                          BatchDCDetector(prefilter=candidates),
+                          trace, graphs=True)
+
+
+class TestAdversarial:
+    def test_fork_consuming_access_stays_per_event(self):
+        # t2's first event is a plain access to a thread-local variable:
+        # batchable by every other criterion, but it must consume the
+        # pending fork snapshot (and add the fork edge for DC).
+        trace = (TraceBuilder()
+                 .wr(1, "x").fork(1, 2)
+                 .wr(2, "y").wr(2, "y").wr(2, "y")
+                 .join(1, 2).rd(1, "x")
+                 .build())
+        assert_equivalent(WCPDetector(), BatchWCPDetector(), trace)
+        fast = assert_equivalent(DCDetector(), BatchDCDetector(), trace,
+                                 graphs=True)
+        assert fast.fast_stats()["batch_events"] > 0
+
+    def test_join_of_fully_batched_child(self):
+        # Every event of t2 after the fork consumption is batched; the
+        # join must still see the child's final clock component.
+        builder = TraceBuilder().wr(1, "x").fork(1, 2)
+        for _ in range(6):
+            builder.wr(2, "y")
+        trace = builder.join(1, 2).wr(1, "y").build()
+        assert_equivalent(WCPDetector(), BatchWCPDetector(), trace)
+        assert_equivalent(DCDetector(), BatchDCDetector(), trace,
+                          graphs=True)
+
+    def test_held_single_accessor_accesses_are_batched(self):
+        # Lock-protected accesses to a variable only one thread ever
+        # touches do no observable rule (a) work: they must batch, and
+        # verdicts/graph/counters must still match the reference, which
+        # *does* run rule (a) recording for them.
+        builder = TraceBuilder()
+        for _ in range(4):
+            builder.acq(1, "m").wr(1, "x").rd(1, "x").rel(1, "m")
+        builder.fork(1, 2)
+        for _ in range(4):
+            builder.acq(2, "m").wr(2, "z").rel(2, "m")
+        trace = builder.join(1, 2).rd(1, "x").build()
+        fast = assert_equivalent(DCDetector(), BatchDCDetector(), trace,
+                                 graphs=True)
+        stats = fast.fast_stats()
+        assert stats["batch_events"] >= 13  # all of x's and z's accesses
+        assert_equivalent(WCPDetector(), BatchWCPDetector(), trace)
+
+    def test_held_shared_accesses_fall_back(self):
+        # x is accessed by both threads under m: rule (a) joins real
+        # cross-thread recordings, so these accesses must not batch.
+        trace = (TraceBuilder()
+                 .acq(1, "m").wr(1, "x").rel(1, "m")
+                 .fork(1, 2)
+                 .acq(2, "m").rd(2, "x").rel(2, "m")
+                 .join(1, 2).wr(1, "x")
+                 .build())
+        fast = assert_equivalent(DCDetector(), BatchDCDetector(), trace,
+                                 graphs=True)
+        assert fast.fast_stats()["batch_events"] == 0
+        assert_equivalent(WCPDetector(), BatchWCPDetector(), trace)
+
+    def test_po_edges_interleave_with_fallback_events(self):
+        # Alternating batched accesses and sync events on two threads:
+        # the bulk PO-edge sweep must interleave with per-event edges in
+        # exactly the reference's (destination-ordered) insertion order;
+        # assert_equivalent compares the edge *lists*, not sets.
+        builder = TraceBuilder()
+        for i in range(5):
+            builder.wr(1, "a").acq(1, "m").rel(1, "m")
+            builder.wr(2, "b").acq(2, "n").rel(2, "n")
+        trace = builder.build()
+        assert_equivalent(DCDetector(), BatchDCDetector(), trace,
+                          graphs=True)
+
+    def test_streaming_release_without_acquire_parity_dc(self):
+        # The streaming path is inherited: error parity with the
+        # reference must survive the analyze() override.
+        trace = TraceBuilder().acq(1, "m").rel(1, "m").build()
+        errors = []
+        for det in (DCDetector(), BatchDCDetector()):
+            det.begin_trace(trace)
+            with pytest.raises(MalformedTraceError) as exc:
+                det.handle(trace.events[1])
+            errors.append((str(exc.value), exc.value.event_index))
+        assert errors[0] == errors[1]
+
+    def test_streaming_release_without_acquire_parity_wcp(self):
+        trace = TraceBuilder().acq(1, "m").rel(1, "m").build()
+        errors = []
+        for det in (WCPDetector(), BatchWCPDetector()):
+            det.begin_trace(trace)
+            with pytest.raises(KeyError) as exc:
+                det.handle(trace.events[1])
+            errors.append(exc.value.args)
+        assert errors[0] == errors[1]
+
+    @SETTINGS
+    @given(seed=seeds,
+           config=st.builds(GeneratorConfig,
+                            threads=st.integers(3, 5),
+                            events=st.integers(10, 40),
+                            variables=st.integers(1, 2),
+                            locks=st.integers(1, 2),
+                            use_fork_join=st.just(True)))
+    def test_fork_join_interleavings(self, seed, config):
+        trace = random_trace(seed, config)
+        assert_equivalent(WCPDetector(), BatchWCPDetector(), trace)
+        assert_equivalent(DCDetector(), BatchDCDetector(), trace,
+                          graphs=True)
+
+
+class TestVindicatorBatch:
+    """End-to-end: ``variant="batch"`` through the full pipeline must
+    produce the reference's ``analyze/1`` document bit-for-bit (modulo
+    the wall-clock/worker fields ``normalize`` strips) — classification,
+    distances, and vindication verdicts included, since those consume
+    the DC graph and clocks the batch interpreter produced."""
+
+    @pytest.mark.parametrize("trace_factory", [figure1, figure3],
+                             ids=["figure1", "figure3"])
+    def test_documents_identical_on_litmus(self, trace_factory):
+        trace = trace_factory()
+        ref = normalize(Vindicator(vindicate_all=True).run(trace)
+                        .to_document())
+        batch = normalize(Vindicator(vindicate_all=True, variant="batch")
+                          .run(trace).to_document())
+        assert ref == batch
+
+    def test_documents_identical_on_workload(self):
+        trace = execute(WORKLOADS["xalan"](scale=0.4), seed=2)
+        ref = normalize(Vindicator(prefilter=True).run(trace)
+                        .to_document())
+        batch = normalize(Vindicator(prefilter=True, variant="batch")
+                          .run(trace).to_document())
+        assert ref == batch
+
+    def test_parallel_batch_matches_serial_reference(self):
+        trace = execute(WORKLOADS["avrora"](scale=0.4), seed=2)
+        ref = normalize(Vindicator().run(trace).to_document())
+        batch = normalize(Vindicator(variant="batch", jobs=2)
+                          .run(trace).to_document())
+        assert ref == batch

@@ -143,6 +143,80 @@ class TestStaticFlags:
         assert "vindication:" in out
 
 
+#: Every valid composition of the detector-variant, parallelism, and
+#: static-analysis flags. --fast-vc and --batch are mutually exclusive
+#: (both pick the WCP/DC implementation); everything else composes.
+VARIANT_FLAGS = [[], ["--fast-vc"], ["--batch"]]
+
+
+class TestVariantFlagMatrix:
+    @pytest.mark.parametrize("variant", VARIANT_FLAGS,
+                             ids=["reference", "fast-vc", "batch"])
+    @pytest.mark.parametrize("static", [[], ["--prefilter"]],
+                             ids=["plain", "prefilter"])
+    def test_workload_matrix_serial(self, variant, static, capsys):
+        assert main(["workload", "luindex", "--scale", "0.2",
+                     "--vindicate-all", *variant, *static]) == 0
+        out = capsys.readouterr().out
+        assert "DC:" in out
+        if static:
+            assert "pre-filter: skipped" in out
+
+    @pytest.mark.parametrize("variant", VARIANT_FLAGS,
+                             ids=["reference", "fast-vc", "batch"])
+    def test_workload_matrix_parallel(self, variant, capsys):
+        # The variant must reach the worker processes (bit-identical
+        # verdict lines vs the serial run of the same variant).
+        assert main(["workload", "luindex", "--scale", "0.2",
+                     "--vindicate-all", *variant]) == 0
+        serial = capsys.readouterr().out
+        assert main(["workload", "luindex", "--scale", "0.2",
+                     "--vindicate-all", "--jobs", "2", *variant]) == 0
+        parallel = capsys.readouterr().out
+        keep = [line for line in serial.splitlines()
+                if "race" in line and "ms)" not in line]
+        assert keep
+        for line in keep:
+            assert line in parallel
+
+    @pytest.mark.parametrize("variant", VARIANT_FLAGS[1:],
+                             ids=["fast-vc", "batch"])
+    def test_litmus_and_analyze_accept_variants(self, variant, tmp_path,
+                                                capsys):
+        assert main(["litmus", "figure2", *variant]) == 0
+        assert "DC: 1 static races" in capsys.readouterr().out
+        path = tmp_path / "t.txt"
+        dump_trace(figure2(), path)
+        assert main(["analyze", str(path), "--vindicate-all",
+                     *variant]) == 0
+        assert "vindication:" in capsys.readouterr().out
+
+    def test_batch_matches_reference_output(self, capsys):
+        assert main(["workload", "xalan", "--scale", "0.3",
+                     "--vindicate-all"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["workload", "xalan", "--scale", "0.3",
+                     "--vindicate-all", "--batch"]) == 0
+        batched = capsys.readouterr().out
+        keep = [line for line in plain.splitlines()
+                if "race" in line and "ms)" not in line]
+        assert keep
+        for line in keep:
+            assert line in batched
+
+    @pytest.mark.parametrize("cmd", [
+        ["workload", "luindex"],
+        ["litmus", "figure2"],
+        ["analyze", "whatever.txt"],
+        ["profile", "luindex"],
+    ], ids=["workload", "litmus", "analyze", "profile"])
+    def test_fast_vc_and_batch_are_mutually_exclusive(self, cmd, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([*cmd, "--fast-vc", "--batch"])
+        assert exc.value.code == 2
+        assert "not allowed with" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

@@ -114,18 +114,59 @@ class TestVindicatorSoundness:
                 assert v.witness[-1].eid == v.race.second.eid
 
 
+#: Configs that force volatile rd→wr chains between racing accesses —
+#: the shape that broke WCP⊆DC nesting before forced edges were joined
+#: into H as well as P (the seed-7500 bug): an order forced into P at a
+#: race must survive WCP's H-snapshot propagation channels.
+volatile_chain_configs = st.builds(
+    GeneratorConfig,
+    threads=st.integers(3, 5),
+    events=st.integers(8, 24),
+    variables=st.integers(1, 2),
+    locks=st.integers(1, 2),
+    max_nesting=st.just(1),
+    use_fork_join=st.booleans(),
+    volatiles=st.integers(1, 3),
+)
+
+
+def assert_racing_sets_nest(trace):
+    hb, wcp, dc = HBDetector(), WCPDetector(), DCDetector(build_graph=False)
+    for det in (hb, wcp, dc):
+        assert det.force_order  # the invariant under test is the forced one
+        det.analyze(trace)
+    for eid, priors in hb.racing_at.items():
+        assert priors <= wcp.racing_at.get(eid, frozenset())
+    for eid, priors in wcp.racing_at.items():
+        assert priors <= dc.racing_at.get(eid, frozenset())
+    return hb, wcp, dc
+
+
 class TestMonotonicity:
     @SETTINGS
     @given(seed=seeds, config=small_configs)
     def test_racing_sets_nest(self, seed, config):
-        trace = random_trace(seed, config)
-        hb, wcp, dc = HBDetector(), WCPDetector(), DCDetector(build_graph=False)
-        for det in (hb, wcp, dc):
-            det.analyze(trace)
-        for eid, priors in hb.racing_at.items():
-            assert priors <= wcp.racing_at.get(eid, frozenset())
-        for eid, priors in wcp.racing_at.items():
-            assert priors <= dc.racing_at.get(eid, frozenset())
+        assert_racing_sets_nest(random_trace(seed, config))
+
+    @SETTINGS
+    @given(seed=seeds, config=volatile_chain_configs)
+    def test_racing_sets_nest_volatile_chains(self, seed, config):
+        assert_racing_sets_nest(random_trace(seed, config))
+
+    def test_racing_sets_nest_seed_7500(self):
+        # Pinned repro of the WCP forced-edge propagation bug (ROADMAP,
+        # PR 5 close-out): T2's write races T4's read (0≺3 forced into
+        # T4's P only), T4's volatile read then recorded an H-only
+        # snapshot, so the forced component never reached T3's P via
+        # the volatile rd→wr chain and WCP reported racing_at(8) =
+        # {0,1,6} where DC had {1,6}. With forced edges joined into H
+        # as well as P, prior 0 is ordered and the sets nest.
+        config = GeneratorConfig(threads=4, events=9, variables=1,
+                                 locks=1, max_nesting=1, volatiles=1)
+        trace = random_trace(7500, config)
+        _, wcp, dc = assert_racing_sets_nest(trace)
+        assert wcp.racing_at[8] == frozenset({1, 6})
+        assert dict(wcp.racing_at) == dict(dc.racing_at)
 
     @SETTINGS
     @given(seed=seeds, config=small_configs)
