@@ -1,0 +1,106 @@
+"""Scenario: a registry with an inconsistent lock discipline.
+
+``Registry.put`` protects the instance state with the per-instance
+``self.lock``; ``Registry.snapshot`` reads ``self.stats`` under the
+*module* lock ``AUDIT_LOCK`` instead — a classic inconsistent-lockset
+bug (SA203): both sides are locked, but never by the same lock.  The
+producers run on a ``ThreadPoolExecutor``, the auditor is a
+``threading.Thread`` subclass, so the scanner's three spawn idioms are
+all exercised.  ``Registry.entries`` and ``audit_total`` are guarded
+consistently and must *not* be reported.
+
+Like ``examples/racy_counter.py``, this is a *paired* example:
+:func:`model` is the generator analog with identical shared-variable
+names, executed by the dynamic coverage suite.
+
+Run with::
+
+    python examples/locked_registry.py
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.runtime import Program, ops
+
+AUDIT_LOCK = threading.Lock()
+audit_total = 0
+
+
+class Registry:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.entries = {}
+        self.stats = 0
+
+    def put(self, key, value):
+        with self.lock:
+            self.entries[key] = value
+            self.stats += 1           # guarded by Registry.lock
+
+    def snapshot(self):
+        with AUDIT_LOCK:              # BUG: wrong lock for self.stats
+            return self.stats
+
+
+REGISTRY = Registry()
+
+
+def producer(reg):
+    for i in range(8):
+        reg.put(i, i * i)
+
+
+class Auditor(threading.Thread):
+    def run(self):
+        global audit_total
+        value = REGISTRY.snapshot()
+        with AUDIT_LOCK:
+            audit_total += value
+
+
+def main():
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for _ in range(2):
+            pool.submit(producer, REGISTRY)
+        auditor = Auditor()
+        auditor.start()
+    auditor.join()
+    with AUDIT_LOCK:
+        print(f"entries={len(REGISTRY.entries)} audit={audit_total}")
+
+
+def model():
+    """Generator-model analog (same shared-variable names)."""
+
+    def producer_model():
+        for i in range(4):
+            yield ops.acq("Registry.lock")
+            yield ops.wr(f"Registry.entries[{i}]",
+                         loc="locked_registry.put():40")
+            yield ops.rd("Registry.stats", loc="locked_registry.put():41")
+            yield ops.wr("Registry.stats", loc="locked_registry.put():41")
+            yield ops.rel("Registry.lock")
+
+    def auditor_model():
+        yield ops.acq("AUDIT_LOCK")
+        yield ops.rd("Registry.stats", loc="locked_registry.snapshot():45")
+        yield ops.rel("AUDIT_LOCK")
+        yield ops.acq("AUDIT_LOCK")
+        yield ops.rd("audit_total", loc="locked_registry.run():59")
+        yield ops.wr("audit_total", loc="locked_registry.run():59")
+        yield ops.rel("AUDIT_LOCK")
+
+    def main_thread():
+        yield ops.fork("p0", producer_model)
+        yield ops.fork("p1", producer_model)
+        yield ops.fork("auditor", auditor_model)
+        yield ops.join("p0")
+        yield ops.join("p1")
+        yield ops.join("auditor")
+
+    return Program(name="locked-registry", main=main_thread)
+
+
+if __name__ == "__main__":
+    main()

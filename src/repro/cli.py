@@ -8,6 +8,10 @@ Sub-commands:
 * ``lint <trace-file>`` — run the collecting trace linter
   (:mod:`repro.static.lint`) and print every finding with its stable
   rule code; accepts traces too malformed to analyze;
+* ``scan <file|package>`` — run the source-level static race analysis
+  (:mod:`repro.static.pysrc`) over real Python ``threading`` code (or
+  generator-model programs): SA2xx findings plus the
+  ``vindicator.scan/1`` instrumentation plan with ``--json``;
 * ``litmus [name]`` — run the paper's litmus executions (all, or one by
   name) and show what each analysis finds;
 * ``workload <name>`` — execute a DaCapo-analog workload and analyze its
@@ -28,12 +32,20 @@ the observability subsystem for any command and exports by extension:
 ``*.jsonl`` streams span/metrics records, ``*.json`` writes the
 snapshot document, ``*.prom``/``*.txt`` writes Prometheus text.
 
+``lint`` and ``scan`` share one exit-code contract so both work as CI
+gates: **0** — clean, or warnings/notes only; **1** — at least one
+error-severity finding; **2** — usage failure (missing or unreadable
+input, unparsable source).
+
 Examples::
 
     vindicator litmus figure2
     vindicator analyze mytrace.txt --vindicate-all --witness
     vindicator analyze mytrace.txt --prefilter --sanitize --json
     vindicator lint mytrace.txt
+    vindicator lint mytrace.txt --json
+    vindicator scan examples/broken_cache.py
+    vindicator scan examples/ --json
     vindicator workload xalan --seed 3 --scale 0.5
     vindicator --metrics run.jsonl workload avrora
     vindicator profile xalan --scale 0.5
@@ -50,7 +62,7 @@ from typing import List, Optional
 from repro import obs
 from repro.analysis.races import RaceClass
 from repro.core.exceptions import SanitizerError
-from repro.static.lint import Severity, lint_events
+from repro.static.lint import Severity, lint_document, lint_events
 from repro.stats.distances import static_distance_ranges
 from repro.traces.render import render_witness
 from repro.traces.io import load_events, load_trace
@@ -135,20 +147,71 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    events, line_numbers = load_events(args.trace)
+    # Exit-code contract (shared with `scan`, documented above): 0 =
+    # clean or warnings/notes only, 1 = error findings, 2 = unusable
+    # input. `lint` accepts traces `analyze` rejects, so only I/O
+    # failures are usage errors here.
+    try:
+        events, line_numbers = load_events(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
     diagnostics = lint_events(events)
-    for diag in diagnostics:
-        line = (line_numbers[diag.event_index]
-                if 0 <= diag.event_index < len(line_numbers) else None)
-        print(f"{args.trace}:{diag.format(line)}")
     by_severity = {severity: 0 for severity in Severity}
     for diag in diagnostics:
         by_severity[diag.severity] += 1
-    print(f"{len(events)} events: "
-          f"{by_severity[Severity.ERROR]} error(s), "
-          f"{by_severity[Severity.WARNING]} warning(s), "
-          f"{by_severity[Severity.NOTE]} note(s)")
+    if args.json:
+        doc = lint_document(args.trace, len(events), diagnostics,
+                            line_numbers)
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        for diag in diagnostics:
+            line = (line_numbers[diag.event_index]
+                    if 0 <= diag.event_index < len(line_numbers) else None)
+            print(f"{args.trace}:{diag.format(line)}")
+        print(f"{len(events)} events: "
+              f"{by_severity[Severity.ERROR]} error(s), "
+              f"{by_severity[Severity.WARNING]} warning(s), "
+              f"{by_severity[Severity.NOTE]} note(s)")
     return 1 if by_severity[Severity.ERROR] else 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.static.pysrc import scan_path
+
+    try:
+        result = scan_path(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"cannot parse {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    if not result.reports and not result.failed:
+        print(f"no Python files under {args.path!r}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(result.to_document(), sys.stdout, indent=2,
+                  sort_keys=True)
+        print()
+        return 1 if result.error_count() else 0
+    for path, message in sorted(result.failed.items()):
+        print(f"{path}: skipped (syntax error: {message})",
+              file=sys.stderr)
+    for report in result.reports:
+        module = report.module
+        for finding in report.findings:
+            print(f"{finding.a.file}:{finding.a.line}: {finding.code} "
+                  f"{finding.severity}: {finding.message}")
+        sites = module.all_sites()
+        pruned = len(report.pruned_labels())
+        print(f"{module.path}: {len(sites)} site(s), "
+              f"{len(report.clusters)} path(s) "
+              f"({len(report.candidate_labels())} race-candidate, "
+              f"{pruned} pruned thread-local), "
+              f"{len(report.findings)} finding(s)")
+    return 1 if result.error_count() else 0
 
 
 def _cmd_litmus(args: argparse.Namespace) -> int:
@@ -326,9 +389,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint", help="lint a text-format trace file (collects all findings; "
-                     "exit 1 if any error-severity rule fires)")
+                     "exit 0 clean/warnings, 1 on error-severity findings, "
+                     "2 on usage failure)")
     lint.add_argument("trace", help="path to the trace file")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the vindicator.lint/1 JSON document "
+                           "instead of the human-readable report")
     lint.set_defaults(func=_cmd_lint)
+
+    scan = sub.add_parser(
+        "scan", help="source-level static race analysis over Python source "
+                     "(file or package directory); exit 0 clean/warnings, "
+                     "1 on error-severity findings, 2 on usage failure")
+    scan.add_argument("path", help="Python file or package directory")
+    scan.add_argument("--json", action="store_true",
+                      help="emit the vindicator.scan/1 JSON document "
+                           "(findings + instrumentation plan) instead of "
+                           "the human-readable report")
+    scan.set_defaults(func=_cmd_scan)
 
     litmus = sub.add_parser("litmus", help="run the paper's litmus executions")
     litmus.add_argument("name", nargs="?", help="litmus trace name "

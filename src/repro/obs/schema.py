@@ -12,7 +12,13 @@ silently misparsing:
   memory + meta;
 * ``vindicator.analyze/1`` — ``vindicator analyze --json``: trace
   provenance, per-analysis race reports, classification, vindication
-  verdicts, and the metrics snapshot when observability was on.
+  verdicts, and the metrics snapshot when observability was on;
+* ``vindicator.lint/1`` — ``vindicator lint --json``: every linter
+  finding with its stable rule code, severity, and source line;
+* ``vindicator.scan/1`` — ``vindicator scan --json``: the source-level
+  static analysis report — per-module tier classification, SA2xx
+  findings, and the instrumentation plan the future dynamic frontend
+  consumes (see ``docs/ALGORITHMS.md``).
 
 Validation is a dependency-free subset of JSON Schema (``type``,
 ``properties``, ``required``, ``additionalProperties``, ``items``,
@@ -33,6 +39,8 @@ Schema = Mapping[str, object]
 OBS_STREAM_SCHEMA_ID = "vindicator.obs/1"
 OBS_SNAPSHOT_SCHEMA_ID = "vindicator.obs-snapshot/1"
 ANALYZE_SCHEMA_ID = "vindicator.analyze/1"
+LINT_SCHEMA_ID = "vindicator.lint/1"
+SCAN_SCHEMA_ID = "vindicator.scan/1"
 
 
 class SchemaError(ValueError):
@@ -332,6 +340,159 @@ ANALYZE_SCHEMA: Dict[str, object] = {
 
 
 # ----------------------------------------------------------------------
+# lint --json document (vindicator.lint/1)
+# ----------------------------------------------------------------------
+_SEVERITY = {"enum": ["error", "warning", "note"]}
+
+_LINT_FINDING = {
+    "type": "object",
+    "required": ["code", "severity", "message", "event_index", "line"],
+    "additionalProperties": False,
+    "properties": {
+        "code": {"type": "string"},
+        "severity": _SEVERITY,
+        "message": {"type": "string"},
+        "event_index": {"type": "integer"},
+        "line": {"type": ["integer", "null"]},
+    },
+}
+
+LINT_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["schema", "source", "events", "summary", "findings"],
+    "additionalProperties": False,
+    "properties": {
+        "schema": {"enum": [LINT_SCHEMA_ID]},
+        "source": {"type": "string"},
+        "events": {"type": "integer"},
+        "summary": {
+            "type": "object",
+            "required": ["findings", "errors", "warnings", "notes"],
+            "additionalProperties": False,
+            "properties": {
+                "findings": {"type": "integer"},
+                "errors": {"type": "integer"},
+                "warnings": {"type": "integer"},
+                "notes": {"type": "integer"},
+            },
+        },
+        "findings": {"type": "array", "items": _LINT_FINDING},
+    },
+}
+
+# ----------------------------------------------------------------------
+# scan --json document (vindicator.scan/1)
+# ----------------------------------------------------------------------
+_TIER = {"enum": ["thread-local", "read-shared", "guarded",
+                  "race-candidate"]}
+_ACCESS_KIND = {"enum": ["rd", "wr"]}
+
+_SCAN_LOCATION = {
+    "type": "object",
+    "required": ["file", "line", "function", "kind"],
+    "additionalProperties": False,
+    "properties": {
+        "file": {"type": "string"},
+        "line": {"type": "integer"},
+        "function": {"type": "string"},
+        "kind": _ACCESS_KIND,
+    },
+}
+
+_SCAN_FINDING = {
+    "type": "object",
+    "required": ["code", "severity", "message", "path", "locations"],
+    "additionalProperties": False,
+    "properties": {
+        "code": {"type": "string"},
+        "severity": _SEVERITY,
+        "message": {"type": "string"},
+        "path": {"type": "string"},
+        "locations": {"type": "array", "items": _SCAN_LOCATION},
+    },
+}
+
+_PLAN_SITE = {
+    "type": "object",
+    "required": ["file", "line", "col", "function", "path", "kind",
+                 "tier", "instrument", "reached", "locks"],
+    "additionalProperties": False,
+    "properties": {
+        "file": {"type": "string"},
+        "line": {"type": "integer"},
+        "col": {"type": "integer"},
+        "function": {"type": "string"},
+        "path": {"type": "string"},
+        "kind": _ACCESS_KIND,
+        "tier": _TIER,
+        "instrument": {"type": "boolean"},
+        "reached": {"type": "boolean"},
+        "locks": {"type": "array", "items": {"type": "string"}},
+    },
+}
+
+_SCAN_MODULE = {
+    "type": "object",
+    "required": ["path", "name", "counters", "entries", "locks",
+                 "spawns", "tiers", "findings", "plan"],
+    "additionalProperties": False,
+    "properties": {
+        "path": {"type": "string"},
+        "name": {"type": "string"},
+        "counters": {"type": "object",
+                     "additionalProperties": {"type": "integer"}},
+        "entries": {"type": "array", "items": {"type": "string"}},
+        "locks": {"type": "array", "items": {"type": "string"}},
+        "spawns": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["entry", "function", "file", "line", "via",
+                             "in_loop"],
+                "additionalProperties": False,
+                "properties": {
+                    "entry": {"type": "string"},
+                    "function": {"type": "string"},
+                    "file": {"type": "string"},
+                    "line": {"type": "integer"},
+                    "via": {"enum": ["thread", "subclass", "executor",
+                                     "fork", "program"]},
+                    "in_loop": {"type": "boolean"},
+                },
+            },
+        },
+        "tiers": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["path", "tier", "sites"],
+                "additionalProperties": False,
+                "properties": {
+                    "path": {"type": "string"},
+                    "tier": _TIER,
+                    "sites": {"type": "integer"},
+                },
+            },
+        },
+        "findings": {"type": "array", "items": _SCAN_FINDING},
+        "plan": {"type": "array", "items": _PLAN_SITE},
+    },
+}
+
+SCAN_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["schema", "summary", "modules"],
+    "additionalProperties": False,
+    "properties": {
+        "schema": {"enum": [SCAN_SCHEMA_ID]},
+        "summary": {"type": "object",
+                    "additionalProperties": {"type": "integer"}},
+        "modules": {"type": "array", "items": _SCAN_MODULE},
+    },
+}
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 def validate_snapshot(doc: object) -> None:
@@ -342,6 +503,16 @@ def validate_snapshot(doc: object) -> None:
 def validate_analyze_document(doc: object) -> None:
     """Validate a ``vindicator.analyze/1`` document."""
     validate(doc, ANALYZE_SCHEMA, defs=_DEFS)
+
+
+def validate_lint_document(doc: object) -> None:
+    """Validate a ``vindicator.lint/1`` document."""
+    validate(doc, LINT_SCHEMA, defs=_DEFS)
+
+
+def validate_scan_document(doc: object) -> None:
+    """Validate a ``vindicator.scan/1`` document."""
+    validate(doc, SCAN_SCHEMA, defs=_DEFS)
 
 
 def validate_jsonl_record(record: object, path: str = "$") -> str:

@@ -70,6 +70,7 @@ RULES: Dict[str, Tuple[Severity, str]] = {
     "SA130": (Severity.WARNING, "volatile variable also used as a lock"),
     "SA131": (Severity.WARNING, "variable accessed both as volatile and as plain data"),
     "SA132": (Severity.NOTE, "lock also accessed as a plain variable"),
+    "SA133": (Severity.WARNING, "variable accessed under inconsistent locksets"),
     "SA140": (Severity.ERROR, "access event without a target"),
 }
 
@@ -102,6 +103,20 @@ class Diagnostic:
         return self.format()
 
 
+class _AccessLockState:
+    """Per-variable accumulator for the SA133 lock-discipline check."""
+
+    __slots__ = ("threads", "writes", "always_locked", "lockset",
+                 "first_index")
+
+    def __init__(self, first_index: int) -> None:
+        self.threads: Set[Tid] = set()
+        self.writes = 0
+        self.always_locked = True
+        self.lockset: Optional[Set[Target]] = None
+        self.first_index = first_index
+
+
 class _Linter:
     """Single-pass lint state machine (one instance per lint run)."""
 
@@ -121,6 +136,11 @@ class _Linter:
         self.uses: Dict[Target, Set[str]] = {}
         #: first event index per (target, use-kind), for messages
         self.first_use: Dict[Tuple[Target, str], int] = {}
+        #: tid -> locks currently held (mirror of lock_holder, per thread)
+        self.held: Dict[Tid, Set[Target]] = {}
+        #: target -> (threads, writes, every-access-locked, lockset ∩)
+        #: for the SA133 inconsistent-lockset discipline check.
+        self.access_locks: Dict[Target, "_AccessLockState"] = {}
 
     # ------------------------------------------------------------------
     def emit(self, code: str, message: str, index: int = -1) -> None:
@@ -172,6 +192,22 @@ class _Linter:
                 self.emit("SA140", f"{e}: access without a target", i)
             else:
                 self.use(e.target, "data", i)
+                self._data_access(i, e)
+
+    def _data_access(self, i: int, e: Event) -> None:
+        state = self.access_locks.get(e.target)
+        if state is None:
+            state = self.access_locks[e.target] = _AccessLockState(i)
+        state.threads.add(e.tid)
+        if e.kind is EventKind.WRITE:
+            state.writes += 1
+        locks = self.held.get(e.tid)
+        if not locks:
+            state.always_locked = False
+        if state.lockset is None:
+            state.lockset = set(locks) if locks else set()
+        elif state.lockset:
+            state.lockset.intersection_update(locks or ())
 
     # ------------------------------------------------------------------
     def _acquire(self, i: int, e: Event) -> None:
@@ -190,8 +226,10 @@ class _Linter:
                           "sections violate mutual exclusion", i)
             # Recover by transferring the lock to the new acquirer so one
             # bad event does not cascade into spurious reports.
+            self.held.get(who, set()).discard(e.target)
         self.lock_holder[e.target] = (e.tid, i)
         self.stacks.setdefault(e.tid, []).append(i)
+        self.held.setdefault(e.tid, set()).add(e.target)
         self.use(e.target, "lock", i)
 
     def _release(self, i: int, e: Event) -> None:
@@ -216,6 +254,7 @@ class _Linter:
         if acq_i in stack:
             stack.remove(acq_i)
         del self.lock_holder[e.target]
+        self.held.get(e.tid, set()).discard(e.target)
 
     def _fork(self, i: int, e: Event) -> None:
         child = e.target
@@ -277,6 +316,19 @@ class _Linter:
                           "variable (event "
                           f"#{self.first_use[(target, 'data')]})",
                           self.first_use[(target, "data")])
+        for target, state in self.access_locks.items():
+            # Every access holds *some* lock, several threads write, but
+            # no single lock covers them all: the discipline exists yet
+            # is inconsistent — the trace-level shadow of the SA203
+            # source rule. (Unlocked multi-thread access is the race
+            # detectors' job, not a lint finding.)
+            if (len(state.threads) > 1 and state.writes
+                    and state.always_locked and not state.lockset):
+                self.emit("SA133",
+                          f"{target!r} is written by {len(state.threads)} "
+                          "threads, always under locks, but no common lock "
+                          "protects every access (inconsistent lockset "
+                          "discipline)", state.first_index)
 
 def lint_events(events: Sequence[Event]) -> List[Diagnostic]:
     """Lint a raw event sequence; never raises on malformed input.
@@ -294,3 +346,41 @@ def lint_events(events: Sequence[Event]) -> List[Diagnostic]:
 def max_severity(diagnostics: Sequence[Diagnostic]) -> Optional[Severity]:
     """The highest severity present, or None for a clean result."""
     return max((d.severity for d in diagnostics), default=None)
+
+
+LINT_SCHEMA_ID = "vindicator.lint/1"
+
+
+def lint_document(source: str, events_count: int,
+                  diagnostics: Sequence[Diagnostic],
+                  line_numbers: Optional[Sequence[int]] = None) -> Dict[str, object]:
+    """Build the machine-readable ``vindicator.lint/1`` document
+    (pinned by :mod:`repro.obs.schema`; shared report idiom with
+    ``vindicator scan --json``)."""
+    by_severity = {severity: 0 for severity in Severity}
+    for diag in diagnostics:
+        by_severity[diag.severity] += 1
+    findings: List[Dict[str, object]] = []
+    for diag in diagnostics:
+        line: Optional[int] = None
+        if line_numbers is not None and 0 <= diag.event_index < len(line_numbers):
+            line = line_numbers[diag.event_index]
+        findings.append({
+            "code": diag.code,
+            "severity": str(diag.severity),
+            "message": diag.message,
+            "event_index": diag.event_index,
+            "line": line,
+        })
+    return {
+        "schema": LINT_SCHEMA_ID,
+        "source": source,
+        "events": events_count,
+        "summary": {
+            "findings": len(findings),
+            "errors": by_severity[Severity.ERROR],
+            "warnings": by_severity[Severity.WARNING],
+            "notes": by_severity[Severity.NOTE],
+        },
+        "findings": findings,
+    }

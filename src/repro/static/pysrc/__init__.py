@@ -1,0 +1,46 @@
+"""Source-level static race analysis over real Python programs.
+
+See :mod:`repro.static.pysrc.frontend` for the dual (threading + ops
+DSL) lowering, :mod:`~repro.static.pysrc.threads` for the concurrency
+model, :mod:`~repro.static.pysrc.report` for the SA2xx findings and the
+tier lattice, and :mod:`~repro.static.pysrc.scan` for the entry points
+used by ``vindicator scan``.
+"""
+
+from repro.static.pysrc.ir import (
+    AccessSite,
+    ModuleIR,
+    PathPattern,
+    SiteTier,
+    SpawnSite,
+)
+from repro.static.pysrc.report import (
+    Cluster,
+    Finding,
+    SOURCE_RULES,
+    ScanReport,
+)
+from repro.static.pysrc.scan import (
+    SCAN_SCHEMA_ID,
+    ScanResult,
+    scan_file,
+    scan_path,
+    scan_source,
+)
+
+__all__ = [
+    "AccessSite",
+    "Cluster",
+    "Finding",
+    "ModuleIR",
+    "PathPattern",
+    "SCAN_SCHEMA_ID",
+    "SOURCE_RULES",
+    "ScanReport",
+    "ScanResult",
+    "SiteTier",
+    "SpawnSite",
+    "scan_file",
+    "scan_path",
+    "scan_source",
+]

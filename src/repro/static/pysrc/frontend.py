@@ -1,0 +1,965 @@
+"""AST frontend: lower Python source into the :mod:`~repro.static.pysrc.ir`.
+
+One lowering covers two surface languages that this repository cares
+about, producing the same IR for both:
+
+* **real ``threading`` programs** — module globals, ``self`` attribute
+  state, ``threading.Thread(target=...)`` / ``Thread`` subclasses /
+  ``concurrent.futures`` submits as spawns, ``with lock:`` and
+  ``acquire``/``release`` as lock regions;
+* **the generator-model DSL** (:mod:`repro.runtime.program`) —
+  ``ops.rd``/``ops.wr`` as accesses, ``ops.acq``/``ops.rel`` as lock
+  regions, ``ops.fork``/``ops.join`` and ``Program(main=...)`` as
+  thread structure.  Scanning the repository's own example programs
+  therefore needs no special casing.
+
+The lowering is *flow-aware within a function* (symbolic locksets are
+propagated through branches by intersection, so a lock is only
+considered held at a site when it is held on every path) and
+*allocation-aware* (a local bound to a fresh container or instance that
+never escapes the function is provably thread-confined; accesses
+through it are marked ``local_root`` and become prunable).  Everything
+it cannot resolve degrades in the sound direction: unknown lock
+expressions contribute nothing to locksets, unknown spawn targets are
+counted as *unknown entries* (which disables sharing-based pruning for
+the whole module), and writes through unresolved object roots are
+counted as *opaque accesses* rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.static.pysrc.ir import (
+    AccessSite,
+    CallEdge,
+    FunctionIR,
+    ModuleIR,
+    PathPattern,
+    SpawnSite,
+)
+
+#: threading factory callables whose result is a lock for our purposes
+#: (anything with acquire/release mutual-exclusion semantics).
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+})
+
+_THREAD_CLASS = "threading.Thread"
+_EXECUTOR_CLASSES = frozenset({
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.thread.ThreadPoolExecutor",
+})
+
+_OPS_METHODS = frozenset({"rd", "wr", "vrd", "vwr", "acq", "rel",
+                          "fork", "join"})
+
+
+@dataclass
+class _Ref:
+    """Symbolic value of an expression during lowering."""
+
+    kind: str = "opaque"
+    #: Resolved symbolic root path ("counter", "Registry", ...).
+    path: Optional[str] = None
+    #: Class qualname when the value is (an instance of) a module class.
+    cls: Optional[str] = None
+    #: Lock symbol when the value is a known lock.
+    lock: Optional[str] = None
+    #: Function qualname when the value is a module function.
+    func: Optional[str] = None
+    #: Dotted import origin when the value is a module / module member.
+    module: Optional[str] = None
+    #: Name of the fresh local this value is rooted at, if any.
+    local: Optional[str] = None
+    #: For thread handles / executors / handle collections.
+    spawns: List[SpawnSite] = field(default_factory=list)
+    #: For "op" kinds: the pending operation name (start, join, submit,
+    #: or an ops.* DSL method).
+    op: Optional[str] = None
+    #: Fresh locals bound to builtin containers keep their freshness
+    #: across method calls (list.append does not publish its receiver);
+    #: fresh class instances do not.
+    container: bool = False
+
+
+def _opaque() -> _Ref:
+    return _Ref()
+
+
+class _ClassInfo:
+    def __init__(self, qualname: str) -> None:
+        self.qualname = qualname
+        self.methods: Set[str] = set()
+        self.is_thread = False
+
+
+class ModuleFrontend:
+    """Lowers one parsed module; one instance per
+    :func:`lower_module` call."""
+
+    def __init__(self, tree: ast.Module, path: str, name: str) -> None:
+        self.tree = tree
+        self.path = path
+        self.name = name
+        self.imports: Dict[str, str] = {}
+        self.classes: Dict[str, _ClassInfo] = {}
+        self.func_nodes: Dict[str, ast.AST] = {}
+        self.data_globals: Set[str] = set()
+        #: Globals whose binding is ever re-assigned (beyond the single
+        #: module-level defining assignment); only these produce sites
+        #: for bare-name loads/stores — a never-reassigned binding is
+        #: effectively final, and only the *object's* state (tracked via
+        #: attribute paths) can race.
+        self.reassigned: Set[str] = set()
+        self.lock_symbols: Set[str] = set()
+        self.instance_of: Dict[str, str] = {}
+        self.unknown_entries = 0
+        self.opaque_accesses = 0
+        self.acquired: Set[str] = set()
+        self.functions: Dict[str, FunctionIR] = {}
+
+    # ------------------------------------------------------------------
+    # Pre-passes
+    # ------------------------------------------------------------------
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.imports[local] = (alias.name if alias.asname
+                                           else alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+    def _collect_classes(self) -> None:
+        for node in self.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = _ClassInfo(node.name)
+            for base in node.bases:
+                origin = self._dotted_origin(base)
+                if origin == _THREAD_CLASS:
+                    info.is_thread = True
+                elif origin in self.classes and self.classes[origin].is_thread:
+                    info.is_thread = True
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods.add(item.name)
+                    self.func_nodes[f"{node.name}.{item.name}"] = item
+            self.classes[node.name] = info
+
+    def _dotted_origin(self, node: ast.AST) -> Optional[str]:
+        """Resolve an expression to its dotted import origin, if it is
+        a chain of names rooted at an import alias."""
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self.imports.get(cur.id)
+        if root is None:
+            return None
+        return ".".join([root] + list(reversed(parts)))
+
+    def _collect_functions(self) -> None:
+        def walk(nodes: Sequence[ast.stmt], prefix: str) -> None:
+            for node in nodes:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}{node.name}"
+                    self.func_nodes.setdefault(qual, node)
+                    walk(node.body, f"{qual}.")
+        walk(self.tree.body, "")
+
+    def _collect_globals(self) -> None:
+        assigned: Dict[str, int] = {}
+
+        def note(name: str) -> None:
+            assigned[name] = assigned.get(name, 0) + 1
+
+        for stmt in self.tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign, ast.For)):
+                targets = [stmt.target]
+            for target in targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        note(node.id)
+            # Lock symbols and instance types from the defining value.
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and isinstance(stmt.value, ast.Call):
+                name = stmt.targets[0].id
+                origin = self._dotted_origin(stmt.value.func)
+                if origin in _LOCK_FACTORIES:
+                    self.lock_symbols.add(name)
+                elif (isinstance(stmt.value.func, ast.Name)
+                      and stmt.value.func.id in self.classes):
+                    self.instance_of[name] = stmt.value.func.id
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    note(name)
+                    note(name)  # a global declaration implies mutation
+        skip = (set(self.func_nodes) | set(self.classes)
+                | set(self.imports) | self.lock_symbols)
+        for name, count in assigned.items():
+            if name in skip or name.startswith("__"):
+                continue
+            self.data_globals.add(name)
+            if count > 1:
+                self.reassigned.add(name)
+        # self.attr = threading.Lock() in any method -> class lock symbol.
+        for cls_name, info in self.classes.items():
+            for method in info.methods:
+                node = self.func_nodes.get(f"{cls_name}.{method}")
+                if node is None:
+                    continue
+                for sub in ast.walk(node):
+                    if (isinstance(sub, ast.Assign) and len(sub.targets) == 1
+                            and isinstance(sub.targets[0], ast.Attribute)
+                            and isinstance(sub.targets[0].value, ast.Name)
+                            and sub.targets[0].value.id == "self"
+                            and isinstance(sub.value, ast.Call)
+                            and self._dotted_origin(sub.value.func)
+                            in _LOCK_FACTORIES):
+                        self.lock_symbols.add(
+                            f"{cls_name}.{sub.targets[0].attr}")
+
+    # ------------------------------------------------------------------
+    def lower(self) -> ModuleIR:
+        self._collect_imports()
+        self._collect_classes()
+        self._collect_functions()
+        self._collect_globals()
+
+        module_body = [stmt for stmt in self.tree.body
+                       if not isinstance(stmt, (ast.FunctionDef,
+                                                ast.AsyncFunctionDef,
+                                                ast.ClassDef))]
+        self.functions["<module>"] = _FunctionLowering(
+            self, "<module>", module_body, params=[], line=1).run()
+        for qual, node in self.func_nodes.items():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[qual] = self._lower_function(qual, node)
+        self._refine_params()
+
+        return ModuleIR(path=self.path, name=self.name,
+                        functions=self.functions,
+                        lock_symbols=frozenset(self.lock_symbols),
+                        acquired_locks=frozenset(self.acquired),
+                        opaque_accesses=self.opaque_accesses,
+                        unknown_entries=self.unknown_entries)
+
+    def _lower_function(self, qual: str, node: ast.AST,
+                        bindings: Optional[Dict[str, _Ref]] = None,
+                        ) -> FunctionIR:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        params = [a.arg for a in node.args.args]
+        env: Dict[str, _Ref] = dict(bindings or {})
+        if "." in qual:
+            cls = qual.rsplit(".", 1)[0]
+            if cls in self.classes and params and params[0] == "self":
+                env["self"] = _Ref(kind="path", path=cls, cls=cls)
+        return _FunctionLowering(self, qual, node.body, params=params,
+                                 line=node.lineno, env=env).run()
+
+    def _refine_params(self) -> None:
+        """Re-lower functions whose parameters are consistently bound to
+        resolvable shared roots at every spawn site (``Thread(args=...)``
+        / ``submit(f, ...)``), so accesses through those parameters
+        resolve instead of being opaque."""
+        spawns_by_entry: Dict[str, List[SpawnSite]] = {}
+        for fn in self.functions.values():
+            for sp in fn.spawns:
+                spawns_by_entry.setdefault(sp.entry, []).append(sp)
+        for entry, spawns in spawns_by_entry.items():
+            node = self.func_nodes.get(entry)
+            if node is None or not any(sp.arg_roots for sp in spawns):
+                continue
+            fn_ir = self.functions.get(entry)
+            if fn_ir is None:
+                continue
+            params = fn_ir.params
+            offset = 1 if params and params[0] == "self" else 0
+            bindings: Dict[str, _Ref] = {}
+            for i, param in enumerate(params[offset:]):
+                roots = {tuple(sp.arg_roots)[i] if i < len(sp.arg_roots)
+                         else None for sp in spawns}
+                if len(roots) == 1:
+                    root = next(iter(roots))
+                    if root is not None:
+                        bindings[param] = _Ref(
+                            kind="path", path=root,
+                            cls=self.instance_of.get(root))
+            if bindings:
+                self.functions[entry] = self._lower_function(
+                    entry, node, bindings=bindings)
+
+
+class _FunctionLowering:
+    """Lower one function body (or the module's top-level statements)."""
+
+    def __init__(self, mod: ModuleFrontend, qualname: str,
+                 body: Sequence[ast.stmt], params: List[str], line: int,
+                 env: Optional[Dict[str, _Ref]] = None) -> None:
+        self.mod = mod
+        self.fn = FunctionIR(qualname=qualname, file=mod.path, line=line,
+                             params=params)
+        self.body = body
+        self.env: Dict[str, _Ref] = dict(env or {})
+        self.held: List[str] = []
+        self.cur_stmt = 0
+        self.loop_depth = 0
+        self.cond_depth = 0
+        self.global_decls: Set[str] = set()
+        self.escaped: Set[str] = set()
+        #: Local names assigned somewhere in the body (Python scoping:
+        #: any assignment makes the name local unless declared global).
+        self.local_names: Set[str] = set(params)
+        self._scan_locals()
+
+    def _scan_locals(self) -> None:
+        def scan(node: ast.AST) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                # A nested scope binds its name here but its body's
+                # assignments are its own.
+                self.local_names.add(node.name)
+                return
+            if isinstance(node, ast.Lambda):
+                return
+            if isinstance(node, ast.Global):
+                self.global_decls.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)):
+                self.local_names.add(node.id)
+            for child in ast.iter_child_nodes(node):
+                scan(child)
+
+        for stmt in self.body:
+            scan(stmt)
+        self.local_names -= self.global_decls
+
+    # ------------------------------------------------------------------
+    def run(self) -> FunctionIR:
+        for i, stmt in enumerate(self.body):
+            self.cur_stmt = i
+            self._stmt(stmt)
+        self._finalize_locals()
+        return self.fn
+
+    def _finalize_locals(self) -> None:
+        """Drop tentative thread-local sites whose root escaped: the
+        object may be shared, but we no longer know through which path —
+        that is an opaque access, counted so coverage gaps are visible."""
+        kept: List[AccessSite] = []
+        for site in self.fn.sites:
+            if site.local_root is not None and site.local_root in self.escaped:
+                self.mod.opaque_accesses += 1
+                continue
+            kept.append(site)
+        self.fn.sites = kept
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Expr):
+            self._expr(node.value)
+        elif isinstance(node, ast.Assign):
+            value = self._expr(node.value)
+            for target in node.targets:
+                self._assign(target, value, node)
+        elif isinstance(node, ast.AugAssign):
+            self._expr(node.value)
+            self._access_target(node.target, write=True, aug=True)
+        elif isinstance(node, ast.AnnAssign):
+            value = self._expr(node.value) if node.value else _opaque()
+            if node.value is not None:
+                self._assign(node.target, value, node)
+        elif isinstance(node, ast.If):
+            self._expr(node.test)
+            before = list(self.held)
+            self.cond_depth += 1
+            self._stmts(node.body)
+            after_body = list(self.held)
+            self.held = list(before)
+            self._stmts(node.orelse)
+            self.cond_depth -= 1
+            self.held = _merge(before, _merge(after_body, self.held))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_ref = self._expr(node.iter)
+            if isinstance(node.target, ast.Name):
+                if iter_ref.spawns:
+                    self.env[node.target.id] = _Ref(kind="spawns",
+                                                    spawns=iter_ref.spawns)
+                else:
+                    self.env[node.target.id] = _opaque()
+            before = list(self.held)
+            self.loop_depth += 1
+            self._stmts(node.body)
+            self.loop_depth -= 1
+            self.cond_depth += 1
+            self._stmts(node.orelse)
+            self.cond_depth -= 1
+            self.held = _merge(before, self.held)
+        elif isinstance(node, (ast.While,)):
+            self._expr(node.test)
+            before = list(self.held)
+            self.loop_depth += 1
+            self.cond_depth += 1
+            self._stmts(node.body)
+            self._stmts(node.orelse)
+            self.cond_depth -= 1
+            self.loop_depth -= 1
+            self.held = _merge(before, self.held)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._with(node)
+        elif isinstance(node, ast.Try):
+            before = list(self.held)
+            self._stmts(node.body)
+            after_body = list(self.held)
+            self.cond_depth += 1
+            for handler in node.handlers:
+                self.held = list(before)
+                self._stmts(handler.body)
+            self.cond_depth -= 1
+            self.held = _merge(before, after_body)
+            self._stmts(node.orelse)
+            self._stmts(node.finalbody)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._escape(self._expr(node.value))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{self.fn.qualname}.{node.name}"
+            if qual in self.mod.func_nodes:
+                self.env[node.name] = _Ref(kind="func", func=qual)
+        elif isinstance(node, ast.ClassDef):
+            pass
+        elif isinstance(node, ast.Global):
+            pass
+        elif isinstance(node, (ast.Delete, ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._expr(child)
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._expr(child)
+                elif isinstance(child, ast.stmt):
+                    self._stmt(child)
+
+    def _stmts(self, body: Sequence[ast.stmt]) -> None:
+        saved = self.cur_stmt
+        for stmt in body:
+            self._stmt(stmt)
+        self.cur_stmt = saved
+
+    def _with(self, node: Union[ast.With, ast.AsyncWith]) -> None:
+        pushed: List[str] = []
+        executors: List[_Ref] = []
+        for item in node.items:
+            ref = self._expr(item.context_expr)
+            if ref.kind == "lock" and ref.lock is not None:
+                self.held.append(ref.lock)
+                self.mod.acquired.add(ref.lock)
+                pushed.append(ref.lock)
+            elif ref.kind == "executor":
+                executors.append(ref)
+            if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name):
+                self.env[item.optional_vars.id] = ref
+        self._stmts(node.body)
+        for lock in reversed(pushed):
+            if lock in self.held:
+                self.held.remove(lock)
+        # Exiting `with ThreadPoolExecutor() as pool:` shuts the pool
+        # down with wait=True: every submitted task has completed.
+        for ref in executors:
+            self._join_spawns(ref.spawns)
+
+    # ------------------------------------------------------------------
+    # Assignment / access emission
+    # ------------------------------------------------------------------
+    def _assign(self, target: ast.expr, value: _Ref, stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in self.local_names:
+                self.env[name] = value
+                return
+            # Global binding write (module level, or via `global`).
+            if name in self.mod.lock_symbols:
+                return  # lock creation, not data
+            if name in self.mod.data_globals:
+                self._emit(PathPattern(name), write=True, node=target,
+                           init=self._is_init())
+            self._escape(value)
+        elif isinstance(target, ast.Attribute):
+            base = self._expr(target.value)
+            self._attr_access(base, target.attr, target, write=True)
+            self._escape(value)
+        elif isinstance(target, ast.Subscript):
+            base = self._expr(target.value)
+            self._expr(target.slice)
+            self._subscript_access(base, target, write=True)
+            if base.kind != "fresh":
+                self._escape(value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, _opaque(), stmt)
+
+    def _is_init(self) -> bool:
+        """Module-level unconditional assignments run at import time,
+        strictly before any thread this module spawns (spawns happen in
+        functions invoked from later top-level statements)."""
+        return self.fn.qualname == "<module>" and self.cond_depth == 0 \
+            and self.loop_depth == 0
+
+    def _access_target(self, target: ast.expr, write: bool,
+                       aug: bool = False) -> None:
+        """AugAssign target: read + write of the same location."""
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in self.local_names:
+                return
+            if name in self.mod.data_globals and name not in \
+                    self.mod.lock_symbols:
+                if aug:
+                    self._emit(PathPattern(name), write=False, node=target)
+                self._emit(PathPattern(name), write=True, node=target,
+                           init=False)
+        elif isinstance(target, ast.Attribute):
+            base = self._expr(target.value)
+            if aug:
+                self._attr_access(base, target.attr, target, write=False)
+            self._attr_access(base, target.attr, target, write=True)
+        elif isinstance(target, ast.Subscript):
+            base = self._expr(target.value)
+            self._expr(target.slice)
+            if aug:
+                self._subscript_access(base, target, write=False)
+            self._subscript_access(base, target, write=True)
+
+    def _attr_access(self, base: _Ref, attr: str, node: ast.expr,
+                     write: bool) -> _Ref:
+        if base.kind in ("path", "class"):
+            root = base.path if base.kind == "path" else base.cls
+            if root is None:
+                return _opaque()
+            path = f"{root}.{attr}"
+            if path in self.mod.lock_symbols:
+                return _Ref(kind="lock", lock=path)
+            cls = base.cls or (root if root in self.mod.classes else None)
+            if cls is not None and f"{cls}.{attr}" in self.mod.func_nodes:
+                return _Ref(kind="func", func=f"{cls}.{attr}")
+            init = (write and self.fn.qualname.endswith(".__init__")
+                    and base.path == self.fn.qualname.rsplit(".", 1)[0])
+            self._emit(PathPattern(path), write=write, node=node, init=init)
+            return _Ref(kind="path", path=path)
+        if base.kind == "fresh":
+            if base.local is not None:
+                self._emit(PathPattern(
+                    f"{self.fn.qualname}.<{base.local}>.{attr}"),
+                    write=write, node=node, local_root=base.local)
+            return _Ref(kind="fresh", local=base.local,
+                        container=base.container)
+        if base.kind == "module" and base.module is not None:
+            return _Ref(kind="module", module=f"{base.module}.{attr}")
+        if base.kind in ("spawns", "executor"):
+            if attr in ("start", "join", "submit", "map", "shutdown",
+                        "result"):
+                return _Ref(kind="op", op=attr, spawns=base.spawns)
+            return _opaque()
+        if base.kind == "lock" and base.lock is not None:
+            if attr in ("acquire", "release", "__enter__", "__exit__"):
+                return _Ref(kind="op", op=attr, lock=base.lock)
+            return _opaque()
+        if write:
+            self.mod.opaque_accesses += 1
+        return _opaque()
+
+    def _subscript_access(self, base: _Ref, node: ast.expr,
+                          write: bool) -> _Ref:
+        if base.kind == "path" and base.path is not None:
+            self._emit(PathPattern(f"{base.path}[", exact=False),
+                       write=write, node=node)
+        elif base.kind == "fresh" and base.local is not None:
+            self._emit(PathPattern(
+                f"{self.fn.qualname}.<{base.local}>[", exact=False),
+                write=write, node=node, local_root=base.local)
+        elif write:
+            self.mod.opaque_accesses += 1
+        return _opaque()
+
+    def _emit(self, path: PathPattern, write: bool, node: ast.expr,
+              init: bool = False, local_root: Optional[str] = None) -> None:
+        self.fn.sites.append(AccessSite(
+            path=path, write=write, function=self.fn.qualname,
+            file=self.mod.path, line=getattr(node, "lineno", self.fn.line),
+            col=getattr(node, "col_offset", 0),
+            locks=frozenset(self.held), stmt_index=self.cur_stmt,
+            in_loop=self.loop_depth > 0, init=init, local_root=local_root))
+
+    def _escape(self, ref: _Ref) -> None:
+        if ref.kind == "fresh" and ref.local is not None:
+            self.escaped.add(ref.local)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _expr(self, node: ast.expr) -> _Ref:
+        if isinstance(node, ast.Name):
+            return self._name(node)
+        if isinstance(node, ast.Attribute):
+            base = self._expr(node.value)
+            return self._attr_access(base, node.attr, node, write=False)
+        if isinstance(node, ast.Subscript):
+            base = self._expr(node.value)
+            self._expr(node.slice)
+            return self._subscript_access(base, node, write=False)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Constant):
+            return _opaque()
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            spawns: List[SpawnSite] = []
+            for elt in node.elts:
+                ref = self._expr(elt)
+                spawns.extend(ref.spawns)
+            if spawns:
+                return _Ref(kind="spawns", spawns=spawns)
+            return _Ref(kind="fresh", container=True)
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self._expr(key)
+            for val in node.values:
+                self._expr(val)
+            return _Ref(kind="fresh", container=True)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            self.loop_depth += 1
+            for comp in node.generators:
+                self._expr(comp.iter)
+            ref = self._expr(node.elt)
+            self.loop_depth -= 1
+            if ref.spawns:
+                return _Ref(kind="spawns", spawns=ref.spawns)
+            return _Ref(kind="fresh", container=True)
+        if isinstance(node, ast.DictComp):
+            self.loop_depth += 1
+            for comp in node.generators:
+                self._expr(comp.iter)
+            self._expr(node.key)
+            self._expr(node.value)
+            self.loop_depth -= 1
+            return _Ref(kind="fresh", container=True)
+        if isinstance(node, ast.IfExp):
+            self._expr(node.test)
+            self.cond_depth += 1
+            self._expr(node.body)
+            self._expr(node.orelse)
+            self.cond_depth -= 1
+            return _opaque()
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+            if node.value is not None:
+                return self._expr(node.value)
+            return _opaque()
+        if isinstance(node, ast.Lambda):
+            return _opaque()
+        # Everything else: visit child expressions for their effects.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child)
+        return _opaque()
+
+    def _name(self, node: ast.Name) -> _Ref:
+        name = node.id
+        if name in self.local_names:
+            return self.env.get(name, _opaque())
+        mod = self.mod
+        if name in mod.lock_symbols:
+            return _Ref(kind="lock", lock=name)
+        if name in mod.classes:
+            return _Ref(kind="class", cls=name)
+        if name in mod.func_nodes and "." not in name:
+            return _Ref(kind="func", func=name)
+        # Closure variable: a nested function (or sibling) defined in an
+        # enclosing scope — resolve along the qualname ancestry.
+        prefix = self.fn.qualname
+        while "." in prefix or prefix not in ("", "<module>"):
+            if f"{prefix}.{name}" in mod.func_nodes:
+                return _Ref(kind="func", func=f"{prefix}.{name}")
+            if "." not in prefix:
+                break
+            prefix = prefix.rsplit(".", 1)[0]
+        if name in mod.imports:
+            return _Ref(kind="module", module=mod.imports[name])
+        if name in mod.data_globals:
+            cls = mod.instance_of.get(name)
+            # Instance globals merge into their class's abstract
+            # location, the same abstraction `self` uses.
+            ref = _Ref(kind="path", path=cls if cls else name, cls=cls)
+            if name in mod.reassigned:
+                self._emit(PathPattern(name), write=False, node=node)
+            return ref
+        return _opaque()
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _call(self, node: ast.Call) -> _Ref:
+        func = node.func
+        # ops DSL: ops.rd("x") / ops.fork("w", body) / ...
+        if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                          ast.Name):
+            alias = func.value.id
+            origin = self.mod.imports.get(alias, "")
+            if ((origin.split(".")[-1] == "ops" or alias == "ops")
+                    and func.attr in _OPS_METHODS
+                    and alias not in self.local_names):
+                return self._ops_call(func.attr, node)
+
+        fref = self._expr(func)
+        if fref.kind == "op":
+            return self._op_call(fref, node)
+
+        origin = fref.module if fref.kind == "module" else None
+        if origin is not None:
+            if origin in _LOCK_FACTORIES:
+                self._visit_args(node)
+                return _Ref(kind="newlock")
+            if origin == _THREAD_CLASS:
+                return self._thread_ctor(node)
+            if origin in _EXECUTOR_CLASSES:
+                self._visit_args(node)
+                return _Ref(kind="executor")
+            if origin.split(".")[-1] == "Program":
+                return self._program_ctor(node)
+            self._visit_args(node)
+            return _opaque()
+
+        if fref.kind == "class" and fref.cls is not None:
+            info = self.mod.classes[fref.cls]
+            self._visit_args(node)
+            if f"{fref.cls}.__init__" in self.mod.func_nodes:
+                self.fn.calls.append(CallEdge(
+                    self.fn.qualname, f"{fref.cls}.__init__",
+                    frozenset(self.held)))
+            if info.is_thread and "run" in info.methods:
+                spawn = self._spawn(f"{fref.cls}.run", node, via="subclass")
+                return _Ref(kind="spawns", spawns=[spawn])
+            return _Ref(kind="path", path=fref.cls, cls=fref.cls)
+
+        if fref.kind == "func" and fref.func is not None:
+            self._visit_args(node)
+            self.fn.calls.append(CallEdge(self.fn.qualname, fref.func,
+                                          frozenset(self.held)))
+            return _opaque()
+
+        # Unknown callable: arguments escape.
+        self._visit_args(node)
+        if fref.kind == "fresh" and not fref.container:
+            self._escape(fref)
+        return _opaque()
+
+    def _visit_args(self, node: ast.Call,
+                    skip: int = 0) -> List[_Ref]:
+        refs: List[_Ref] = []
+        for i, arg in enumerate(node.args):
+            ref = self._expr(arg)
+            if i >= skip:
+                self._escape(ref)
+            refs.append(ref)
+        for kw in node.keywords:
+            ref = self._expr(kw.value)
+            self._escape(ref)
+            refs.append(ref)
+        return refs
+
+    def _kwarg(self, node: ast.Call, name: str) -> Optional[ast.expr]:
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _entry_of(self, node: ast.expr) -> Optional[str]:
+        ref = self._expr(node)
+        if ref.kind == "func":
+            return ref.func
+        return None
+
+    def _arg_roots(self, args: Sequence[ast.expr]) -> List[Optional[str]]:
+        roots: List[Optional[str]] = []
+        for arg in args:
+            ref = self._expr(arg)
+            roots.append(ref.path if ref.kind == "path" else None)
+        return roots
+
+    def _spawn(self, entry: Optional[str], node: ast.expr, via: str,
+               label: Optional[str] = None,
+               arg_roots: Optional[List[Optional[str]]] = None) -> SpawnSite:
+        if entry is None:
+            self.mod.unknown_entries += 1
+        spawn = SpawnSite(
+            entry=entry or "<unknown>",
+            function=self.fn.qualname, file=self.mod.path,
+            line=getattr(node, "lineno", self.fn.line),
+            start_stmt=self.cur_stmt, via=via,
+            in_loop=self.loop_depth > 0, conditional=self.cond_depth > 0,
+            label=label, arg_roots=list(arg_roots or []))
+        self.fn.spawns.append(spawn)
+        return spawn
+
+    def _thread_ctor(self, node: ast.Call) -> _Ref:
+        target = self._kwarg(node, "target")
+        entry = self._entry_of(target) if target is not None else None
+        args_kw = self._kwarg(node, "args")
+        arg_roots: List[Optional[str]] = []
+        if args_kw is not None and isinstance(args_kw, (ast.Tuple, ast.List)):
+            arg_roots = self._arg_roots(args_kw.elts)
+        if target is None and not node.args and not node.keywords:
+            return _opaque()
+        spawn = self._spawn(entry, node, via="thread", arg_roots=arg_roots)
+        return _Ref(kind="spawns", spawns=[spawn])
+
+    def _program_ctor(self, node: ast.Call) -> _Ref:
+        main = self._kwarg(node, "main")
+        if main is None and len(node.args) >= 2:
+            main = node.args[1]
+        entry = self._entry_of(main) if main is not None else None
+        if entry is not None:
+            self._spawn(entry, node, via="program")
+        return _opaque()
+
+    def _op_call(self, fref: _Ref, node: ast.Call) -> _Ref:
+        op = fref.op
+        if op == "acquire" and fref.lock is not None:
+            self.held.append(fref.lock)
+            self.mod.acquired.add(fref.lock)
+        elif op == "release" and fref.lock is not None:
+            if fref.lock in self.held:
+                self.held.remove(fref.lock)
+        elif op == "start":
+            for sp in fref.spawns:
+                if self.cond_depth == 0:
+                    sp.start_stmt = self.cur_stmt
+                    sp.in_loop = sp.in_loop or self.loop_depth > 0
+        elif op in ("join", "shutdown"):
+            self._join_spawns(fref.spawns)
+        elif op in ("submit", "map"):
+            entry = self._entry_of(node.args[0]) if node.args else None
+            arg_roots = self._arg_roots(node.args[1:])
+            spawn = self._spawn(entry, node, via="executor",
+                                arg_roots=arg_roots)
+            # .map / repeated .submit may run many instances.
+            if op == "map":
+                spawn.in_loop = True
+            fref.spawns.append(spawn)
+            return _opaque()
+        self._visit_args(node)
+        return _opaque()
+
+    def _join_spawns(self, spawns: Sequence[SpawnSite]) -> None:
+        if self.cond_depth > 0:
+            return
+        for sp in spawns:
+            sp.join_stmt = self.cur_stmt
+            sp.join_conditional = False
+
+    # ------------------------------------------------------------------
+    # ops DSL
+    # ------------------------------------------------------------------
+    def _target_pattern(self, node: ast.expr) -> PathPattern:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return PathPattern(node.value)
+        if isinstance(node, ast.JoinedStr):
+            prefix_parts: List[str] = []
+            for value in node.values:
+                if isinstance(value, ast.Constant) and isinstance(
+                        value.value, str):
+                    prefix_parts.append(value.value)
+                else:
+                    break
+            return PathPattern("".join(prefix_parts), exact=False)
+        self._expr(node)
+        return PathPattern("", exact=False)
+
+    def _ops_call(self, op: str, node: ast.Call) -> _Ref:
+        if op in ("rd", "wr") and node.args:
+            pattern = self._target_pattern(node.args[0])
+            self._emit(pattern, write=(op == "wr"), node=node)
+        elif op in ("vrd", "vwr"):
+            pass  # volatile sync accesses are never race candidates
+        elif op == "acq" and node.args:
+            pattern = self._target_pattern(node.args[0])
+            if pattern.exact:
+                self.held.append(pattern.prefix)
+                self.mod.acquired.add(pattern.prefix)
+        elif op == "rel" and node.args:
+            pattern = self._target_pattern(node.args[0])
+            if pattern.exact and pattern.prefix in self.held:
+                self.held.remove(pattern.prefix)
+        elif op == "fork" and len(node.args) >= 2:
+            label_pat = self._target_pattern(node.args[0])
+            entry = self._entry_of(node.args[1])
+            self._spawn(entry, node, via="fork", label=label_pat.label())
+        elif op == "join" and node.args:
+            label_pat = self._target_pattern(node.args[0])
+            if self.cond_depth == 0:
+                for sp in self.fn.spawns:
+                    if sp.label is not None and _labels_alias(
+                            sp.label, label_pat.label()):
+                        sp.join_stmt = self.cur_stmt
+                        sp.join_conditional = False
+        return _opaque()
+
+
+def _merge(a: List[str], b: List[str]) -> List[str]:
+    """Lockset intersection preserving order (of ``a``)."""
+    remaining = list(b)
+    out: List[str] = []
+    for lock in a:
+        if lock in remaining:
+            remaining.remove(lock)
+            out.append(lock)
+    return out
+
+
+def _labels_alias(a: str, b: str) -> bool:
+    """Whether two fork/join label patterns (``"w*"`` style) may denote
+    the same thread name."""
+    pa = PathPattern(a[:-1], exact=False) if a.endswith("*") else PathPattern(a)
+    pb = PathPattern(b[:-1], exact=False) if b.endswith("*") else PathPattern(b)
+    return pa.may_alias(pb)
+
+
+def lower_source(source: str, path: str = "<string>",
+                 name: str = "<module>") -> ModuleIR:
+    """Parse and lower Python source text into a :class:`ModuleIR`.
+
+    Raises :class:`SyntaxError` when the source does not parse; the CLI
+    maps that to the usage exit code (2).
+    """
+    tree = ast.parse(source, filename=path)
+    return ModuleFrontend(tree, path, name).lower()
+
+
+def lower_file(path: str, name: Optional[str] = None) -> ModuleIR:
+    """Lower one Python file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    modname = name
+    if modname is None:
+        base = path.rsplit("/", 1)[-1]
+        modname = base[:-3] if base.endswith(".py") else base
+    return lower_source(source, path=path, name=modname)

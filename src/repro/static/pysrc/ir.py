@@ -1,0 +1,213 @@
+"""Intermediate representation for the source-level static analysis.
+
+The frontend (:mod:`repro.static.pysrc.frontend`) lowers Python source —
+both real ``threading`` programs and this repository's generator-model
+DSL (``ops.rd`` / ``ops.fork`` / ...) — into the small IR defined here:
+per-function lists of shared-access sites, call edges, and thread spawn
+sites.  The later passes (:mod:`~repro.static.pysrc.threads`,
+:mod:`~repro.static.pysrc.locks`, :mod:`~repro.static.pysrc.report`)
+work exclusively on this IR and never look at the AST again.
+
+Access paths are *symbolic*: a site names the shared location it may
+touch as a string path rooted at a module-visible symbol — a module
+global (``"counter"``), class instance state (``"Registry.stats"`` for
+``self.stats`` inside ``class Registry``; all instances of a class are
+merged, the standard ownership-style abstraction), or a constant target
+of the ops DSL (``"cache.entry"``).  Paths that cannot be resolved to a
+single constant string become *wildcard patterns* with a known constant
+prefix (an f-string target, a subscript cell ``"d[*]"``); a wildcard may
+alias every path sharing its prefix, so any path it may alias is merged
+into the same classification cluster before pruning decisions are made.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+
+class SiteTier(enum.Enum):
+    """Per-path classification, mirroring the trace-level lattice of
+    :class:`repro.static.lockset.VariableVerdict` — strongest (and only
+    prunable) exclusion first.  ``thread-local ⊑ read-shared ⊑ guarded
+    ⊑ race-candidate``: each tier up proves strictly less."""
+
+    THREAD_LOCAL = "thread-local"
+    READ_SHARED = "read-shared"
+    GUARDED = "guarded"
+    RACE_CANDIDATE = "race-candidate"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A symbolic access path: exact, or a constant-prefix wildcard.
+
+    ``exact`` patterns name one abstract location.  Wildcards arise from
+    targets the frontend cannot constant-fold (f-strings, subscripts)
+    and may alias *any* path that shares their prefix — the alias test
+    is deliberately one-sided so the pruning passes stay sound: when in
+    doubt, two patterns alias.
+    """
+
+    prefix: str
+    exact: bool = True
+
+    def matches(self, name: str) -> bool:
+        """Whether a concrete variable name may be an instance of this
+        pattern (used to match dynamic race variables against sites)."""
+        if self.exact:
+            return name == self.prefix
+        return name.startswith(self.prefix)
+
+    def may_alias(self, other: "PathPattern") -> bool:
+        """Whether two patterns may denote the same location."""
+        if self.exact and other.exact:
+            return self.prefix == other.prefix
+        return (self.prefix.startswith(other.prefix)
+                or other.prefix.startswith(self.prefix))
+
+    def label(self) -> str:
+        return self.prefix if self.exact else f"{self.prefix}*"
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+@dataclass
+class AccessSite:
+    """One source site that may read or write shared state.
+
+    ``locks`` is the *intra-procedural* lockset (locks provably held on
+    every path from the enclosing function's entry to the site);
+    ``effective_locks`` additionally includes the interprocedural
+    context computed by :mod:`repro.static.pysrc.locks`.
+    """
+
+    path: PathPattern
+    write: bool
+    function: str
+    file: str
+    line: int
+    col: int
+    locks: FrozenSet[str]
+    #: Index of the enclosing *top-level statement* of the function
+    #: body: within one function, a site in statement i finishes every
+    #: execution before statement j > i starts (no common loop at the
+    #: statement level), so these indices order sites against
+    #: start/join positions.
+    stmt_index: int
+    in_loop: bool = False
+    #: Module-level defining assignment (initialisation during import);
+    #: excluded from conflict pairing and from the tier write count.
+    init: bool = False
+    #: Set for accesses rooted at a provably fresh, non-escaping local:
+    #: the site is thread-local by construction.
+    local_root: Optional[str] = None
+    effective_locks: FrozenSet[str] = frozenset()
+    tier: SiteTier = SiteTier.RACE_CANDIDATE
+    #: False when the site's function is not reachable from any entry:
+    #: no concurrency structure is known, so the site is planned for
+    #: instrumentation but never paired into findings.
+    reached: bool = True
+
+    @property
+    def kind(self) -> str:
+        return "wr" if self.write else "rd"
+
+
+@dataclass
+class SpawnSite:
+    """A point where a new thread (or task) may begin executing an entry.
+
+    ``start_stmt`` / ``join_stmt`` are top-level statement indices in
+    the *spawning* function; ``join_stmt`` stays ``None`` (and
+    ``join_conditional`` ``True``) until an unconditional join is seen,
+    so every ordering claim built on it errs toward concurrency.
+    """
+
+    entry: str
+    function: str
+    file: str
+    line: int
+    start_stmt: int
+    via: str  # "thread" | "subclass" | "executor" | "fork" | "program"
+    in_loop: bool = False
+    conditional: bool = False
+    #: ops-DSL fork label (constant string), for join matching.
+    label: Optional[str] = None
+    join_stmt: Optional[int] = None
+    join_conditional: bool = True
+    #: Resolved symbolic roots for the entry's positional parameters
+    #: (``Thread(args=...)`` / ``submit(f, ...)``); ``None`` per slot
+    #: when unresolved.
+    arg_roots: List[Optional[str]] = field(default_factory=list)
+
+    def joined_before(self, stmt_index: int) -> bool:
+        """Whether every thread started here has provably completed
+        before ``stmt_index`` of the same function."""
+        return (self.join_stmt is not None
+                and not self.join_conditional
+                and self.join_stmt < stmt_index)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """A resolved intra-module call, with the locks held at the call."""
+
+    caller: str
+    callee: str
+    locks: FrozenSet[str]
+
+
+@dataclass
+class FunctionIR:
+    """Everything the frontend learned about one function."""
+
+    qualname: str
+    file: str
+    line: int
+    sites: List[AccessSite] = field(default_factory=list)
+    calls: List[CallEdge] = field(default_factory=list)
+    spawns: List[SpawnSite] = field(default_factory=list)
+    params: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ModuleIR:
+    """The lowered form of one Python module.
+
+    ``functions`` always contains the pseudo-function ``"<module>"``
+    holding the module's top-level statements — it doubles as the main
+    thread's entry point under the closed-module assumption.
+    """
+
+    path: str
+    name: str
+    functions: Dict[str, FunctionIR] = field(default_factory=dict)
+    #: Symbolic lock identities: module globals bound to a lock factory
+    #: (``threading.Lock()`` & friends) and class attrs assigned one in
+    #: a method (``"C.lock"``).
+    lock_symbols: FrozenSet[str] = frozenset()
+    #: Every lock symbol ever acquired (with-blocks, acquire calls, ops
+    #: DSL ``acq`` labels) — the plan's lock-intercept list even when a
+    #: region encloses no access site.
+    acquired_locks: FrozenSet[str] = frozenset()
+    #: Accesses through roots the frontend could not resolve (see the
+    #: soundness contract in docs/ALGORITHMS.md): counted, not planned.
+    opaque_accesses: int = 0
+    #: Spawns whose entry function could not be resolved (lambdas,
+    #: callables from data structures).  Any unknown entry may touch any
+    #: shared path, so sharing-based pruning is disabled module-wide
+    #: while fresh-local pruning (unreachable from other code by
+    #: construction) stays valid.
+    unknown_entries: int = 0
+
+    def all_sites(self) -> List[AccessSite]:
+        return [s for fn in self.functions.values() for s in fn.sites]
+
+    def all_spawns(self) -> List[SpawnSite]:
+        return [sp for fn in self.functions.values() for sp in fn.spawns]

@@ -1,0 +1,73 @@
+"""Interprocedural lockset contexts.
+
+The frontend records, per access site, the locks provably held on every
+intra-procedural path from the function entry (:attr:`AccessSite.locks`)
+and, per call edge, the locks held at the call.  This pass closes the
+gap between the two: a function only ever invoked with ``mu`` held
+protects all of its sites with ``mu`` even though no lock statement
+appears in its own body.
+
+``context(f)`` is the set of locks held at *every* live call reaching
+``f`` — the meet (set intersection) over incoming edges of
+``context(caller) ∪ edge.locks``, with thread entries pinned to the
+empty set (a spawner's locks are not held by the spawned thread).  The
+fixpoint is a standard descending iteration from ⊤; it terminates
+because locksets only shrink and are drawn from the finite set of lock
+symbols seen in the module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.static.pysrc.ir import ModuleIR
+from repro.static.pysrc.threads import ThreadModel
+
+#: ⊤ is represented as None (``context`` unconstrained: function has no
+#: live incoming edge yet).
+_Context = Optional[FrozenSet[str]]
+
+
+def compute_contexts(module: ModuleIR,
+                     model: ThreadModel) -> Dict[str, FrozenSet[str]]:
+    """Map each live function to the locks held at every call reaching
+    it.  Unreached functions map to the empty set."""
+    context: Dict[str, _Context] = {}
+    for fn in model.live_functions:
+        context[fn] = None
+    for entry in model.entries:
+        if entry in context:
+            context[entry] = frozenset()
+
+    changed = True
+    while changed:
+        changed = False
+        for fn_name in model.live_functions:
+            fn = module.functions.get(fn_name)
+            if fn is None:
+                continue
+            caller_ctx = context.get(fn_name)
+            if caller_ctx is None:
+                continue  # not yet constrained; revisit next round
+            for edge in fn.calls:
+                if edge.callee not in context:
+                    continue
+                incoming = caller_ctx | edge.locks
+                current = context[edge.callee]
+                updated = incoming if current is None \
+                    else current & incoming
+                if updated != current:
+                    context[edge.callee] = updated
+                    changed = True
+
+    return {fn: (ctx if ctx is not None else frozenset())
+            for fn, ctx in context.items()}
+
+
+def apply_contexts(module: ModuleIR,
+                   contexts: Dict[str, FrozenSet[str]]) -> None:
+    """Stamp every site's ``effective_locks`` = own lockset ∪ context."""
+    for fn in module.functions.values():
+        ctx = contexts.get(fn.qualname, frozenset())
+        for site in fn.sites:
+            site.effective_locks = site.locks | ctx

@@ -1,0 +1,280 @@
+"""Tier classification and SA2xx race findings.
+
+Sites are first merged into **alias clusters**: the transitive closure
+of :meth:`PathPattern.may_alias` over all distinct patterns in the
+module.  A wildcard pattern drags every path sharing its prefix into
+its cluster, so a classification decision is always made over the whole
+set of locations a pattern might touch — this is what keeps wildcard
+pruning sound.
+
+Each cluster is then placed on the tier lattice (``thread-local ⊑
+read-shared ⊑ guarded ⊑ race-candidate``, mirroring the trace-level
+:class:`repro.static.lockset.VariableVerdict`).  Only ``thread-local``
+is prunable; the proof obligations per tier:
+
+* ``thread-local`` — every site is rooted at a provably fresh
+  non-escaping local, **or** all sites are reached by exactly one live
+  entry that is not self-concurrent and the module spawned no
+  unresolvable entry.
+* ``read-shared`` — no (reached, non-init) write.
+* ``guarded`` — some lock is in the effective lockset of every
+  reached, non-init site.
+* ``race-candidate`` — everything else.
+
+Findings pair conflicting sites within race-candidate clusters:
+
+* ``SA201`` (error) — concurrent conflicting accesses, neither side
+  holds any lock;
+* ``SA202`` (error) — concurrent conflicting accesses, exactly one
+  side locked (the classic missed-lock bug);
+* ``SA203`` (error) — both sides locked but with disjoint locksets
+  (inconsistent lock discipline);
+* ``SA210`` (warning) — like the above, but the sites' paths only
+  *may* alias through a wildcard pattern rather than matching exactly,
+  so confidence is lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.static.lint import Severity
+from repro.static.pysrc.ir import (
+    AccessSite,
+    ModuleIR,
+    PathPattern,
+    SiteTier,
+)
+from repro.static.pysrc.threads import ThreadModel
+
+#: Source-level rule registry, continuing the SA1xx trace-level table
+#: in :mod:`repro.static.lint`.
+SOURCE_RULES: Dict[str, Tuple[Severity, str]] = {
+    "SA201": (Severity.ERROR,
+              "concurrent conflicting accesses with no locking"),
+    "SA202": (Severity.ERROR,
+              "concurrent conflicting accesses, only one side locked"),
+    "SA203": (Severity.ERROR,
+              "concurrent conflicting accesses under disjoint locksets"),
+    "SA210": (Severity.WARNING,
+              "possible race between wildcard-aliased access paths"),
+}
+
+
+@dataclass
+class Cluster:
+    """An alias-closed group of access sites sharing one abstract
+    location (or set of locations, for wildcards)."""
+
+    label: str
+    patterns: List[PathPattern]
+    sites: List[AccessSite]
+    tier: SiteTier = SiteTier.RACE_CANDIDATE
+
+    def matches(self, name: str) -> bool:
+        return any(p.matches(name) for p in self.patterns)
+
+    def counted_sites(self) -> List[AccessSite]:
+        """Sites that participate in classification: reached and not
+        import-time initialisation."""
+        return [s for s in self.sites if s.reached and not s.init]
+
+
+@dataclass
+class Finding:
+    code: str
+    severity: Severity
+    message: str
+    path: str
+    a: AccessSite
+    b: AccessSite
+
+    def location(self) -> str:
+        return f"{self.a.file}:{self.a.line}"
+
+
+@dataclass
+class ScanReport:
+    """Everything the scan learned about one module."""
+
+    module: ModuleIR
+    model: ThreadModel
+    clusters: List[Cluster] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+
+    def candidate_labels(self) -> List[str]:
+        return [c.label for c in self.clusters
+                if c.tier is SiteTier.RACE_CANDIDATE]
+
+    def pruned_labels(self) -> List[str]:
+        return [c.label for c in self.clusters
+                if c.tier is SiteTier.THREAD_LOCAL]
+
+    def covers(self, name: str) -> bool:
+        """Whether ``name`` (a concrete dynamic race variable) is
+        matched by some race-candidate cluster."""
+        return any(c.matches(name) for c in self.clusters
+                   if c.tier is SiteTier.RACE_CANDIDATE)
+
+    def pruned_matches(self, name: str) -> bool:
+        """Whether ``name`` is matched by a pruned cluster (must never
+        hold for a dynamically racing variable)."""
+        return any(c.matches(name) for c in self.clusters
+                   if c.tier is SiteTier.THREAD_LOCAL)
+
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings
+                   if f.severity is Severity.ERROR)
+
+
+# ----------------------------------------------------------------------
+# Clustering
+# ----------------------------------------------------------------------
+def build_clusters(module: ModuleIR) -> List[Cluster]:
+    sites = module.all_sites()
+    patterns: List[PathPattern] = []
+    seen: Set[Tuple[str, bool]] = set()
+    for site in sites:
+        key = (site.path.prefix, site.path.exact)
+        if key not in seen:
+            seen.add(key)
+            patterns.append(site.path)
+    # Union-find over patterns under may_alias.
+    parent = list(range(len(patterns)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i in range(len(patterns)):
+        for j in range(i + 1, len(patterns)):
+            if patterns[i].may_alias(patterns[j]):
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    parent[rj] = ri
+
+    groups: Dict[int, List[PathPattern]] = {}
+    index: Dict[Tuple[str, bool], int] = {}
+    for i, pattern in enumerate(patterns):
+        root = find(i)
+        groups.setdefault(root, []).append(pattern)
+        index[(pattern.prefix, pattern.exact)] = root
+
+    clusters: Dict[int, Cluster] = {}
+    for root, pats in groups.items():
+        exact = [p for p in pats if p.exact]
+        label = (min(p.label() for p in exact) if exact
+                 else min(p.label() for p in pats))
+        clusters[root] = Cluster(label=label, patterns=sorted(
+            pats, key=lambda p: p.label()), sites=[])
+    for site in sites:
+        clusters[index[(site.path.prefix, site.path.exact)]].sites.append(
+            site)
+    return sorted(clusters.values(), key=lambda c: c.label)
+
+
+# ----------------------------------------------------------------------
+# Tier classification
+# ----------------------------------------------------------------------
+def classify(clusters: List[Cluster], model: ThreadModel) -> None:
+    for cluster in clusters:
+        cluster.tier = _tier(cluster, model)
+        for site in cluster.sites:
+            site.reached = model.is_reached(site.function)
+            site.tier = cluster.tier
+
+
+def _tier(cluster: Cluster, model: ThreadModel) -> SiteTier:
+    for site in cluster.sites:
+        site.reached = model.is_reached(site.function)
+    if all(s.local_root is not None for s in cluster.sites):
+        return SiteTier.THREAD_LOCAL
+    counted = cluster.counted_sites()
+    if not counted:
+        # Only unreached or init-time sites: nothing concurrent ever
+        # touches this path, but keep it instrumented (not thread-local)
+        # so the closed-module assumption is not load-bearing here.
+        return SiteTier.READ_SHARED
+    if not model.has_unknown_entry \
+            and all(s.local_root is None for s in counted):
+        if model.concurrent_entry_count(counted) <= 1:
+            return SiteTier.THREAD_LOCAL
+    if not any(s.write for s in counted):
+        return SiteTier.READ_SHARED
+    common: FrozenSet[str] = counted[0].effective_locks
+    for site in counted[1:]:
+        common = common & site.effective_locks
+    if common:
+        return SiteTier.GUARDED
+    return SiteTier.RACE_CANDIDATE
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+def pair_findings(clusters: List[Cluster],
+                  model: ThreadModel) -> List[Finding]:
+    findings: List[Finding] = []
+    reported: Set[Tuple[str, str, Tuple[str, int, int, bool],
+                        Tuple[str, int, int, bool]]] = set()
+    for cluster in clusters:
+        if cluster.tier is not SiteTier.RACE_CANDIDATE:
+            continue
+        counted = cluster.counted_sites()
+        for i, a in enumerate(counted):
+            for b in counted[i:]:
+                finding = _pair(cluster, a, b, model)
+                if finding is None:
+                    continue
+                key = (finding.code, finding.path,
+                       _site_key(finding.a), _site_key(finding.b))
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.a.file, f.a.line, f.code, f.path))
+    return findings
+
+
+def _site_key(site: AccessSite) -> Tuple[str, int, int, bool]:
+    return (site.file, site.line, site.col, site.write)
+
+
+def _pair(cluster: Cluster, a: AccessSite, b: AccessSite,
+          model: ThreadModel) -> Optional[Finding]:
+    if not (a.write or b.write):
+        return None
+    if not a.path.may_alias(b.path):
+        return None
+    if a.effective_locks & b.effective_locks:
+        return None
+    if not model.may_run_concurrently(a, b):
+        return None
+    if a.line > b.line or (a.line == b.line and a.col > b.col):
+        a, b = b, a
+    exact_alias = (a.path.exact and b.path.exact
+                   and a.path.prefix == b.path.prefix)
+    if not exact_alias:
+        code = "SA210"
+    elif not a.effective_locks and not b.effective_locks:
+        code = "SA201"
+    elif a.effective_locks and b.effective_locks:
+        code = "SA203"
+    else:
+        code = "SA202"
+    severity, summary = SOURCE_RULES[code]
+    kinds = f"{a.kind}@{a.function}:{a.line} vs {b.kind}@{b.function}:{b.line}"
+    message = f"{summary}: '{cluster.label}' ({kinds})"
+    return Finding(code=code, severity=severity, message=message,
+                   path=cluster.label, a=a, b=b)
+
+
+def build_report(module: ModuleIR, model: ThreadModel) -> ScanReport:
+    clusters = build_clusters(module)
+    classify(clusters, model)
+    findings = pair_findings(clusters, model)
+    return ScanReport(module=module, model=model, clusters=clusters,
+                      findings=findings)

@@ -1,0 +1,125 @@
+"""Scan orchestration: source text → :class:`ScanResult` → document.
+
+``scan_path`` accepts a single ``.py`` file or a directory (scanned
+non-recursively plus one level of subpackages); each module is analysed
+independently — the closed-module assumption is per file.  The emitted
+``vindicator.scan/1`` document aggregates all modules and is validated
+against the pinned schema in :mod:`repro.obs.schema` by the test suite
+and the CI ``static-scan`` job.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro import obs
+from repro.static.pysrc.frontend import lower_file, lower_source
+from repro.static.pysrc.ir import ModuleIR
+from repro.static.pysrc.locks import apply_contexts, compute_contexts
+from repro.static.pysrc.plan import module_document
+from repro.static.pysrc.report import ScanReport, build_report
+from repro.static.pysrc.threads import ThreadModel
+
+SCAN_SCHEMA_ID = "vindicator.scan/1"
+
+
+@dataclass
+class ScanResult:
+    """Reports for every module scanned in one invocation."""
+
+    reports: List[ScanReport] = field(default_factory=list)
+    #: Files that failed to parse: path -> error message.
+    failed: Dict[str, str] = field(default_factory=dict)
+
+    def error_count(self) -> int:
+        return sum(r.error_count() for r in self.reports)
+
+    def finding_count(self) -> int:
+        return sum(len(r.findings) for r in self.reports)
+
+    def covers(self, name: str) -> bool:
+        return any(r.covers(name) for r in self.reports)
+
+    def pruned_matches(self, name: str) -> bool:
+        return any(r.pruned_matches(name) for r in self.reports)
+
+    def to_document(self) -> Dict[str, Any]:
+        modules = [module_document(r) for r in self.reports]
+        summary = {
+            "modules": len(modules),
+            "sites": sum(m["counters"]["sites"] for m in modules),
+            "instrumented": sum(m["counters"]["instrumented"]
+                                for m in modules),
+            "pruned": sum(m["counters"]["pruned"] for m in modules),
+            "candidates": sum(m["counters"]["candidates"] for m in modules),
+            "findings": self.finding_count(),
+            "errors": self.error_count(),
+            "failed": len(self.failed),
+        }
+        return {"schema": SCAN_SCHEMA_ID, "summary": summary,
+                "modules": modules}
+
+
+def _analyse(module: ModuleIR) -> ScanReport:
+    model = ThreadModel(module)
+    apply_contexts(module, compute_contexts(module, model))
+    return build_report(module, model)
+
+
+def scan_source(source: str, path: str = "<string>",
+                name: str = "<module>") -> ScanReport:
+    """Scan one module given as source text (raises ``SyntaxError``)."""
+    return _analyse(lower_source(source, path=path, name=name))
+
+
+def scan_file(path: str) -> ScanReport:
+    """Scan one Python file (raises ``OSError`` / ``SyntaxError``)."""
+    return _analyse(lower_file(path))
+
+
+def _python_files(root: str) -> List[str]:
+    files: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames
+                             if not d.startswith((".", "__")))
+        for fname in sorted(filenames):
+            if fname.endswith(".py"):
+                files.append(os.path.join(dirpath, fname))
+    return files
+
+
+def scan_path(path: str) -> ScanResult:
+    """Scan a file or every ``.py`` under a directory.
+
+    Raises ``OSError`` for a missing path; per-file syntax errors are
+    collected into :attr:`ScanResult.failed` rather than aborting a
+    package scan.
+    """
+    with obs.span("static.scan") as sp:
+        result = ScanResult()
+        if os.path.isdir(path):
+            targets = _python_files(path)
+        else:
+            targets = [path]
+        for target in targets:
+            try:
+                result.reports.append(scan_file(target))
+            except SyntaxError as exc:
+                if len(targets) == 1:
+                    raise
+                result.failed[target] = str(exc)
+        sp.annotate("modules", len(result.reports))
+
+    reg = obs.metrics()
+    if reg.enabled:
+        sites = sum(len(r.module.all_sites()) for r in result.reports)
+        pruned = sum(len(r.pruned_labels()) for r in result.reports)
+        candidates = sum(len(r.candidate_labels()) for r in result.reports)
+        reg.add("static.scan.modules", len(result.reports))
+        reg.add("static.scan.sites", sites)
+        reg.add("static.scan.pruned", pruned)
+        reg.add("static.scan.candidates", candidates)
+        reg.add("static.scan.findings", result.finding_count())
+    return result

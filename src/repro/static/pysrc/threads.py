@@ -1,0 +1,182 @@
+"""Thread-structure model: entries, reachability, may-run-concurrently.
+
+Works entirely on the :class:`~repro.static.pysrc.ir.ModuleIR`.  The
+*closed-module assumption* anchors everything: the module's top-level
+statements are the main thread's entry point, and the only other code
+that runs is what the module itself spawns.  Functions unreachable from
+any live entry therefore never execute; their sites are still planned
+for instrumentation but never paired into findings.
+
+Two layers of may-run-concurrently:
+
+* **entry level** — which thread entries may overlap at all, from the
+  spawn sites that create them (self-concurrency from loops or multiple
+  unordered spawns of one entry);
+* **site level** — a positional refinement inside the spawning
+  function: within one function body, the top-level statement at index
+  *i* completes every execution before statement *j > i* begins, so a
+  site before a ``start()`` is ordered before that thread, and a site
+  after an unconditional ``join()`` is ordered after it.
+
+The refinement only ever *removes* candidate pairs from the findings
+layer (which is a best-effort under-approximation and additionally
+assumes spawning functions execute once per run); the instrumentation
+plan's pruning never relies on it — pruning uses only entry
+reachability and self-concurrency, which hold regardless of how often
+the spawner runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from repro.static.pysrc.ir import AccessSite, ModuleIR, SpawnSite
+
+
+class ThreadModel:
+    """Entries, call-graph closures, and concurrency relations for one
+    lowered module."""
+
+    #: The pseudo-entry executing the module's top-level statements.
+    MAIN = "<module>"
+
+    def __init__(self, module: ModuleIR) -> None:
+        self.module = module
+        self.call_graph: Dict[str, Set[str]] = {}
+        for name, fn in module.functions.items():
+            edges = self.call_graph.setdefault(name, set())
+            for call in fn.calls:
+                if call.callee in module.functions:
+                    edges.add(call.callee)
+        self._closure_cache: Dict[str, FrozenSet[str]] = {}
+
+        #: entry qualname -> spawn sites creating it (main has none).
+        self.entries: Dict[str, List[SpawnSite]] = {self.MAIN: []}
+        self.live_functions: Set[str] = set()
+        self._discover_entries()
+
+        #: function -> entries in whose closure it appears.
+        self.reached_by: Dict[str, FrozenSet[str]] = {}
+        by: Dict[str, Set[str]] = {}
+        for entry in self.entries:
+            for fn in self.closure(entry):
+                by.setdefault(fn, set()).add(entry)
+        self.reached_by = {fn: frozenset(es) for fn, es in by.items()}
+
+        self.self_concurrent: Dict[str, bool] = {
+            entry: self._self_concurrent(entry, spawns)
+            for entry, spawns in self.entries.items()}
+
+        self.has_unknown_entry = module.unknown_entries > 0
+
+    # ------------------------------------------------------------------
+    def closure(self, entry: str) -> FrozenSet[str]:
+        """Functions transitively callable from ``entry`` (inclusive)."""
+        cached = self._closure_cache.get(entry)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        stack = [entry]
+        while stack:
+            fn = stack.pop()
+            if fn in seen or fn not in self.module.functions:
+                continue
+            seen.add(fn)
+            stack.extend(self.call_graph.get(fn, ()))
+        result = frozenset(seen)
+        self._closure_cache[entry] = result
+        return result
+
+    def _discover_entries(self) -> None:
+        """Fixpoint: an entry is *live* when some live function spawns
+        it; main is live by definition."""
+        self.live_functions = set(self.closure(self.MAIN))
+        changed = True
+        while changed:
+            changed = False
+            for fn_name in list(self.live_functions):
+                fn = self.module.functions.get(fn_name)
+                if fn is None:
+                    continue
+                for spawn in fn.spawns:
+                    if spawn.entry == "<unknown>":
+                        continue
+                    existing = self.entries.setdefault(spawn.entry, [])
+                    if spawn not in existing:
+                        existing.append(spawn)
+                    new = self.closure(spawn.entry) - self.live_functions
+                    if new:
+                        self.live_functions.update(new)
+                        changed = True
+
+    def _self_concurrent(self, entry: str, spawns: List[SpawnSite]) -> bool:
+        if entry == self.MAIN:
+            return False
+        if any(sp.in_loop for sp in spawns):
+            return True
+        for i, a in enumerate(spawns):
+            for b in spawns[i + 1:]:
+                if not self._spawns_disjoint(a, b):
+                    return True
+        return False
+
+    @staticmethod
+    def _spawns_disjoint(a: SpawnSite, b: SpawnSite) -> bool:
+        """Whether the threads of two spawn sites provably never
+        overlap (one is joined before the other starts, same body)."""
+        if a.function != b.function:
+            return False
+        return a.joined_before(b.start_stmt) or b.joined_before(a.start_stmt)
+
+    # ------------------------------------------------------------------
+    def site_entries(self, site: AccessSite) -> FrozenSet[str]:
+        """Live entries whose thread may execute this site."""
+        return self.reached_by.get(site.function, frozenset())
+
+    def is_reached(self, function: str) -> bool:
+        return function in self.live_functions
+
+    def may_run_concurrently(self, a: AccessSite, b: AccessSite) -> bool:
+        """Site-level MRC: may some execution of ``a`` overlap some
+        execution of ``b``?  Uncertainty answers *yes*."""
+        for ea in self.site_entries(a):
+            for eb in self.site_entries(b):
+                if self._pair_concurrent(ea, a, eb, b):
+                    return True
+        return False
+
+    def _pair_concurrent(self, ea: str, a: AccessSite,
+                         eb: str, b: AccessSite) -> bool:
+        if ea == eb:
+            # Two sites on the same entry: sequential within one
+            # thread; concurrent only via multiple instances.
+            return self.self_concurrent.get(ea, False)
+        return not (self._site_ordered(a, eb) or self._site_ordered(b, ea))
+
+    def _site_ordered(self, site: AccessSite, other_entry: str) -> bool:
+        """Whether ``site`` is ordered (before-start or after-join)
+        w.r.t. *every* thread instance of ``other_entry``."""
+        spawns = self.entries.get(other_entry, [])
+        if not spawns:
+            return False
+        for sp in spawns:
+            if sp.function != site.function:
+                return False
+            before_start = (site.stmt_index < sp.start_stmt
+                            and not sp.conditional)
+            after_join = sp.joined_before(site.stmt_index)
+            if not (before_start or after_join):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def concurrent_entry_count(self, sites: Iterable[AccessSite]) -> int:
+        """Number of distinct live entries reaching any of ``sites``,
+        counting a self-concurrent entry twice (it races with itself)."""
+        entries: Set[str] = set()
+        for site in sites:
+            entries.update(self.site_entries(site))
+        count = len(entries)
+        if any(self.self_concurrent.get(e, False) for e in entries):
+            count += 1
+        return count

@@ -1,10 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+from repro.obs.schema import (
+    validate_lint_document,
+    validate_scan_document,
+)
 from repro.traces.io import dump_trace
 from repro.traces.litmus import figure1, figure2
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
 class TestLitmusCommand:
@@ -100,6 +109,89 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert out.count("SA101") == 2
         assert "SA110" in out
+
+    def test_missing_file_is_usage_failure(self, tmp_path, capsys):
+        # Exit-code contract: 2 is reserved for usage/IO failures, so a
+        # missing trace is distinguishable from a trace with findings.
+        assert main(["lint", str(tmp_path / "absent.txt")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_json_document_is_schema_valid(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        dump_trace(figure1(), path)
+        assert main(["lint", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_lint_document(doc)
+        assert doc["schema"] == "vindicator.lint/1"
+        assert doc["summary"]["findings"] == 0
+
+    def test_json_reports_findings_and_exit_1(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("# comment\nT1 wr x\nT2 rel m\n")
+        assert main(["lint", str(path), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        validate_lint_document(doc)
+        assert doc["summary"]["errors"] == 1
+        [finding] = doc["findings"]
+        assert finding["code"] == "SA101"
+        assert finding["severity"] == "error"
+        assert finding["line"] == 3
+
+
+class TestScanCommand:
+    def test_broken_cache_reports_the_race(self, capsys):
+        assert main(["scan", str(EXAMPLES / "broken_cache.py")]) == 1
+        out = capsys.readouterr().out
+        assert "SA201" in out
+        assert "cache.entry" in out
+
+    def test_json_document_is_schema_valid(self, capsys):
+        assert main(["scan", str(EXAMPLES / "broken_cache.py"),
+                     "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        validate_scan_document(doc)
+        assert doc["schema"] == "vindicator.scan/1"
+        [module] = doc["modules"]
+        assert "cache.entry" in [f["path"] for f in module["findings"]]
+        # The instrumentation plan prunes thread-local sites.
+        pruned = [s for s in module["plan"] if not s["instrument"]]
+        assert pruned
+        assert all(s["tier"] == "thread-local" for s in pruned)
+
+    def test_clean_source_exits_0(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text(
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "total = 0\n"
+            "def work():\n"
+            "    global total\n"
+            "    with LOCK:\n"
+            "        total += 1\n"
+            "def main():\n"
+            "    t = threading.Thread(target=work)\n"
+            "    t.start()\n"
+            "    work()\n"
+            "    t.join()\n")
+        assert main(["scan", str(path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_missing_path_is_usage_failure(self, tmp_path, capsys):
+        assert main(["scan", str(tmp_path / "absent.py")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_syntax_error_is_usage_failure(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("def broken(:\n")
+        assert main(["scan", str(path)]) == 2
+        assert "bad.py" in capsys.readouterr().err
+
+    def test_directory_scan_aggregates(self, capsys):
+        assert main(["scan", str(EXAMPLES), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        validate_scan_document(doc)
+        assert doc["summary"]["modules"] >= 4
+        assert doc["summary"]["errors"] >= 3
 
 
 class TestStaticFlags:

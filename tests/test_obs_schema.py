@@ -2,11 +2,14 @@
 
 import pytest
 
+from repro.obs import schema as obs_schema
 from repro.obs.schema import (
     SchemaError,
     validate,
     validate_jsonl_lines,
     validate_jsonl_record,
+    validate_lint_document,
+    validate_scan_document,
     validate_snapshot,
 )
 
@@ -161,3 +164,75 @@ class TestSnapshotSchema:
                 "spans": [{"name": "root", "elapsed_seconds": 0.5,
                            "children": [{"elapsed_seconds": 0.25}]}],
             })
+
+
+class TestLintSchema:
+    def document(self):
+        return {
+            "schema": "vindicator.lint/1",
+            "source": "t.txt",
+            "events": 3,
+            "summary": {"findings": 1, "errors": 1, "warnings": 0,
+                        "notes": 0},
+            "findings": [{"code": "SA101", "severity": "error",
+                          "message": "boom", "event_index": 2,
+                          "line": 3}],
+        }
+
+    def test_valid_document(self):
+        validate_lint_document(self.document())
+
+    def test_schema_id_matches_the_producer(self):
+        from repro.static.lint import LINT_SCHEMA_ID
+        assert obs_schema.LINT_SCHEMA_ID == LINT_SCHEMA_ID
+
+    def test_real_document_validates(self):
+        from repro.static.lint import lint_document, lint_events
+        from repro.traces.litmus import figure1
+        trace = figure1()
+        diags = lint_events(trace.events)
+        validate_lint_document(
+            lint_document("t.txt", len(trace.events), diags, {}))
+
+    def test_bad_severity_rejected(self):
+        doc = self.document()
+        doc["findings"][0]["severity"] = "fatal"
+        with pytest.raises(SchemaError, match="enum"):
+            validate_lint_document(doc)
+
+    def test_extra_keys_rejected(self):
+        doc = self.document()
+        doc["surprise"] = 1
+        with pytest.raises(SchemaError, match="unexpected keys"):
+            validate_lint_document(doc)
+
+
+class TestScanSchema:
+    def document(self):
+        from repro.static.pysrc import scan_path
+        return scan_path("examples/broken_cache.py").to_document()
+
+    def test_real_document_validates(self):
+        validate_scan_document(self.document())
+
+    def test_schema_id_matches_the_producer(self):
+        from repro.static.pysrc import SCAN_SCHEMA_ID
+        assert obs_schema.SCAN_SCHEMA_ID == SCAN_SCHEMA_ID
+
+    def test_wrong_schema_tag_rejected(self):
+        doc = self.document()
+        doc["schema"] = "vindicator.scan/2"
+        with pytest.raises(SchemaError, match="enum"):
+            validate_scan_document(doc)
+
+    def test_bad_tier_rejected(self):
+        doc = self.document()
+        doc["modules"][0]["plan"][0]["tier"] = "mysterious"
+        with pytest.raises(SchemaError, match="enum"):
+            validate_scan_document(doc)
+
+    def test_missing_plan_rejected(self):
+        doc = self.document()
+        del doc["modules"][0]["plan"]
+        with pytest.raises(SchemaError, match="missing required key"):
+            validate_scan_document(doc)

@@ -1,0 +1,483 @@
+"""Unit tests for the source-level static race analysis
+(repro.static.pysrc): frontend lowering, thread-structure model,
+lockset inference, tier classification, and finding pairing."""
+
+import pytest
+
+from repro.static.pysrc import (
+    PathPattern,
+    SiteTier,
+    scan_path,
+    scan_source,
+)
+
+
+def scan(source):
+    return scan_source(source, path="test.py", name="test")
+
+
+def tiers(report):
+    return {c.label: c.tier for c in report.clusters}
+
+
+def finding_codes(report):
+    return sorted(f.code for f in report.findings)
+
+
+THREADED_COUNTER = """\
+import threading
+
+counter = 0
+
+def work():
+    global counter
+    counter += 1
+
+def main():
+    t = threading.Thread(target=work)
+    t.start()
+    work()
+    t.join()
+
+main()
+"""
+
+
+class TestFrontend:
+    def test_global_counter_sites(self):
+        report = scan(THREADED_COUNTER)
+        assert "counter" in tiers(report)
+        sites = [s for s in report.module.all_sites()
+                 if s.path.label() == "counter"]
+        # counter += 1 is one read + one write.
+        assert {s.write for s in sites} == {False, True}
+
+    def test_self_attributes_merge_into_class(self):
+        report = scan("""\
+import threading
+
+class Box:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+def main():
+    b = Box()
+    t = threading.Thread(target=b.bump)
+    t.start()
+    b.bump()
+    t.join()
+""")
+        assert "Box.value" in tiers(report)
+        assert "b.value" not in tiers(report)
+
+    def test_init_writes_are_excluded_from_pairing(self):
+        # The __init__ store to self.value happens before the instance
+        # escapes; it must not pair with the threaded accesses.
+        report = scan("""\
+import threading
+
+class Box:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+def main():
+    b = Box()
+    t = threading.Thread(target=b.bump)
+    t.start()
+    b.bump()
+    t.join()
+""")
+        init_sites = [s for s in report.module.all_sites() if s.init]
+        assert init_sites
+        for f in report.findings:
+            assert not f.a.init and not f.b.init
+
+    def test_fstring_subscript_is_prefix_wildcard(self):
+        report = scan("""\
+import threading
+
+table = {}
+
+def work(n):
+    table[f"key{n}"] = n
+
+def main():
+    threads = [threading.Thread(target=work, args=(i,))
+               for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+""")
+        patterns = [s.path for s in report.module.all_sites()
+                    if s.path.prefix.startswith("table[")]
+        assert patterns
+        assert all(not p.exact for p in patterns)
+
+    def test_lock_statements_do_not_emit_data_sites(self):
+        report = scan("""\
+import threading
+LOCK = threading.Lock()
+def f():
+    with LOCK:
+        pass
+""")
+        assert "LOCK" not in tiers(report)
+        assert "LOCK" in report.module.lock_symbols
+
+
+class TestLocksets:
+    def test_with_lock_guards_sites(self):
+        report = scan("""\
+import threading
+LOCK = threading.Lock()
+total = 0
+
+def work():
+    global total
+    with LOCK:
+        total += 1
+
+def main():
+    t = threading.Thread(target=work)
+    t.start()
+    work()
+    t.join()
+
+main()
+""")
+        assert tiers(report)["total"] is SiteTier.GUARDED
+        assert report.findings == []
+
+    def test_acquire_release_pairs_guard(self):
+        report = scan("""\
+import threading
+LOCK = threading.Lock()
+total = 0
+
+def work():
+    global total
+    LOCK.acquire()
+    total += 1
+    LOCK.release()
+
+def main():
+    t = threading.Thread(target=work)
+    t.start()
+    work()
+    t.join()
+
+main()
+""")
+        assert tiers(report)["total"] is SiteTier.GUARDED
+
+    def test_branch_intersection(self):
+        # The lock is only held on one branch: sites after the If merge
+        # must not inherit it.
+        report = scan("""\
+import threading
+LOCK = threading.Lock()
+total = 0
+
+def work(flag):
+    global total
+    if flag:
+        LOCK.acquire()
+    else:
+        pass
+    total += 1
+
+def main():
+    t = threading.Thread(target=work, args=(True,))
+    t.start()
+    work(False)
+    t.join()
+
+main()
+""")
+        assert tiers(report)["total"] is SiteTier.RACE_CANDIDATE
+
+    def test_interprocedural_context(self):
+        # The helper is only ever called with LOCK held, so its sites
+        # are effectively guarded.
+        report = scan("""\
+import threading
+LOCK = threading.Lock()
+total = 0
+
+def bump():
+    global total
+    total += 1
+
+def work():
+    with LOCK:
+        bump()
+
+def main():
+    t = threading.Thread(target=work)
+    t.start()
+    work()
+    t.join()
+
+main()
+""")
+        assert tiers(report)["total"] is SiteTier.GUARDED
+
+    def test_mixed_call_context_degrades(self):
+        # One caller holds the lock, one does not: the context
+        # intersection is empty and the helper's sites are unguarded,
+        # so both sides of the pair end up lock-free (SA201).
+        report = scan("""\
+import threading
+LOCK = threading.Lock()
+total = 0
+
+def bump():
+    global total
+    total += 1
+
+def locked():
+    with LOCK:
+        bump()
+
+def main():
+    t = threading.Thread(target=locked)
+    t.start()
+    bump()
+    t.join()
+
+main()
+""")
+        assert tiers(report)["total"] is SiteTier.RACE_CANDIDATE
+        assert "SA201" in finding_codes(report)
+
+    def test_one_sided_locking_is_sa202(self):
+        report = scan("""\
+import threading
+LOCK = threading.Lock()
+total = 0
+
+def work():
+    global total
+    with LOCK:
+        total += 1
+
+def main():
+    global total
+    t = threading.Thread(target=work)
+    t.start()
+    total += 1
+    t.join()
+
+main()
+""")
+        assert tiers(report)["total"] is SiteTier.RACE_CANDIDATE
+        assert "SA202" in finding_codes(report)
+
+
+class TestThreadModel:
+    def test_single_thread_is_thread_local(self):
+        report = scan("""\
+total = 0
+
+def main():
+    global total
+    total += 1
+
+main()
+""")
+        assert tiers(report)["total"] is SiteTier.THREAD_LOCAL
+        assert "total" in report.pruned_labels()
+
+    def test_unstarted_thread_entry_is_not_concurrent(self):
+        report = scan("""\
+import threading
+total = 0
+
+def work():
+    global total
+    total += 1
+
+def main():
+    t = threading.Thread(target=work)  # never started
+    global total
+    total += 1
+""")
+        assert report.findings == []
+
+    def test_join_orders_later_accesses(self):
+        # The main thread reads only after joining the worker:
+        # no finding, even though the variable stays instrumented.
+        report = scan("""\
+import threading
+total = 0
+
+def work():
+    global total
+    total += 1
+
+def main():
+    t = threading.Thread(target=work)
+    t.start()
+    t.join()
+    print(total)
+""")
+        assert report.findings == []
+
+    def test_loop_spawn_is_self_concurrent(self):
+        report = scan("""\
+import threading
+total = 0
+
+def work():
+    global total
+    total += 1
+
+def main():
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+main()
+""")
+        assert "SA201" in finding_codes(report)
+
+    def test_read_only_sharing_is_clean(self):
+        # A never-reassigned global binding emits no sites at all;
+        # object *state* read from several threads (with only the
+        # excluded __init__ write) classifies as read-shared.
+        report = scan("""\
+import threading
+
+class Cfg:
+    def __init__(self):
+        self.mode = "x"
+
+CFG = Cfg()
+
+def work():
+    print(CFG.mode)
+
+def main():
+    t = threading.Thread(target=work)
+    t.start()
+    print(CFG.mode)
+    t.join()
+
+main()
+""")
+        assert tiers(report)["Cfg.mode"] is SiteTier.READ_SHARED
+        assert report.findings == []
+
+    def test_unknown_entry_disables_sharing_pruning(self):
+        report = scan("""\
+import threading
+total = 0
+
+def main(callback):
+    global total
+    t = threading.Thread(target=callback)
+    t.start()
+    total += 1
+    t.join()
+""")
+        assert report.module.unknown_entries >= 1
+        # The conservative fallback keeps total instrumented.
+        assert tiers(report)["total"] is not SiteTier.THREAD_LOCAL
+
+
+class TestPathPatterns:
+    def test_exact_alias(self):
+        a = PathPattern("x", exact=True)
+        b = PathPattern("x", exact=True)
+        assert a.may_alias(b)
+
+    def test_wildcard_aliases_prefix(self):
+        w = PathPattern("table[", exact=False)
+        e = PathPattern("table[3]", exact=True)
+        assert w.may_alias(e)
+        assert e.may_alias(w)
+
+    def test_disjoint_paths_do_not_alias(self):
+        assert not PathPattern("a", exact=True).may_alias(
+            PathPattern("b", exact=True))
+        assert not PathPattern("a[", exact=False).may_alias(
+            PathPattern("b[", exact=False))
+
+
+class TestDslLowering:
+    def test_ops_program_lowering(self):
+        report = scan("""\
+from repro.runtime import Program, ops
+
+def model():
+    def worker():
+        yield ops.wr("shared")
+
+    def main_thread():
+        yield ops.fork("w", worker)
+        yield ops.wr("shared")
+        yield ops.join("w")
+
+    return Program(name="t", main=main_thread)
+
+model()
+""")
+        assert "SA201" in finding_codes(report)
+        assert report.covers("shared")
+
+    def test_dsl_join_suppresses_ordered_pair(self):
+        report = scan("""\
+from repro.runtime import Program, ops
+
+def model():
+    def worker():
+        yield ops.wr("shared")
+
+    def main_thread():
+        yield ops.fork("w", worker)
+        yield ops.join("w")
+        yield ops.rd("shared")
+
+    return Program(name="t", main=main_thread)
+
+model()
+""")
+        assert report.findings == []
+
+
+class TestExamplesEndToEnd:
+    def test_broken_cache_acceptance(self):
+        result = scan_path("examples/broken_cache.py")
+        [report] = result.reports
+        assert result.covers("cache.entry")
+        assert "SA201" in finding_codes(report)
+        assert "request.scratch" in {
+            label.rstrip("[") for label in report.pruned_labels()} or any(
+            label.startswith("request.scratch")
+            for label in report.pruned_labels())
+
+    def test_racy_counter(self):
+        result = scan_path("examples/racy_counter.py")
+        [report] = result.reports
+        assert report.module.unknown_entries == 0
+        assert finding_codes(report) == ["SA201", "SA201"]
+        assert all(f.path == "counter" for f in report.findings)
+        # hits is lock-guarded on the worker side and read post-join.
+        assert not any(f.path == "hits" for f in report.findings)
+
+    def test_locked_registry(self):
+        result = scan_path("examples/locked_registry.py")
+        [report] = result.reports
+        sa203 = [f for f in report.findings if f.code == "SA203"]
+        assert [f.path for f in sa203] == ["Registry.stats"]
+        assert not any(f.path == "audit_total" for f in report.findings)
+        assert tiers(report)["audit_total"] is SiteTier.GUARDED

@@ -1,0 +1,178 @@
+"""Coverage contract between ``vindicator scan`` and the dynamic
+pipeline.
+
+The static scanner's one load-bearing guarantee is *coverage*: every
+variable the dynamic detectors can race on must be matched by a
+race-candidate cluster, and a pruned (thread-local) cluster must never
+match a dynamically racing variable — pruning its instrumentation away
+would hide real races.
+
+Two suites check this:
+
+* the paired examples (``examples/racy_counter.py``,
+  ``examples/locked_registry.py``, ``examples/broken_cache.py``) each
+  carry a generator-model analog with the *same shared-variable names*
+  as the real-threading code; we execute the model, collect every
+  DC-race variable, and check it against the scan of the source file;
+* a hypothesis suite generates small worker specs and renders each one
+  twice — as real ``threading`` source (scanned) and as an executable
+  :class:`~repro.runtime.Program` (run through the detectors) — so the
+  contract is exercised on shapes nobody hand-picked.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import Vindicator
+from repro.runtime import Program, execute, ops
+from repro.static.pysrc import scan_path, scan_source
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def dynamic_race_variables(program, seeds):
+    """Every variable some DC-race touches, over several schedules."""
+    racy = set()
+    for seed in seeds:
+        report = Vindicator().run(execute(program, seed=seed))
+        for race in report.dc.races:
+            racy.add(race.first.target)
+            racy.add(race.second.target)
+    return racy
+
+
+def example_program(module_name):
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        module = importlib.import_module(module_name)
+    finally:
+        sys.path.pop(0)
+    if hasattr(module, "model"):
+        return module.model()
+    return Program(name=module_name, main=module.main_thread)
+
+
+PAIRED = ["racy_counter", "locked_registry", "broken_cache"]
+
+
+class TestPairedExamples:
+    @pytest.mark.parametrize("name", PAIRED)
+    def test_scan_covers_every_dynamic_race(self, name):
+        result = scan_path(str(EXAMPLES / f"{name}.py"))
+        racy = dynamic_race_variables(example_program(name),
+                                      seeds=range(4))
+        assert racy, f"{name} produced no dynamic race to check against"
+        for var in sorted(racy):
+            assert result.covers(var), (
+                f"dynamic DC-race variable {var!r} not covered by any "
+                f"race-candidate cluster of {name}.py")
+
+    @pytest.mark.parametrize("name", PAIRED)
+    def test_pruned_sites_never_race(self, name):
+        result = scan_path(str(EXAMPLES / f"{name}.py"))
+        racy = dynamic_race_variables(example_program(name),
+                                      seeds=range(4))
+        for var in sorted(racy):
+            assert not result.pruned_matches(var), (
+                f"{var!r} races dynamically but matches a pruned "
+                f"thread-local cluster of {name}.py")
+
+    def test_broken_cache_acceptance_path(self):
+        # The ISSUE's acceptance criterion, at the API level.
+        result = scan_path(str(EXAMPLES / "broken_cache.py"))
+        assert result.covers("cache.entry")
+
+
+# ----------------------------------------------------------------------
+# Randomised paired programs
+# ----------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+#: One shared-variable access: (variable, is_write, under_lock).
+SHARED = ["alpha", "beta", "gamma"]
+accesses = st.lists(
+    st.tuples(st.sampled_from(SHARED), st.booleans(), st.booleans()),
+    min_size=1, max_size=4)
+specs = st.lists(accesses, min_size=2, max_size=3)
+
+
+def render_source(spec):
+    """The spec as a real ``threading`` program (scanner input)."""
+    lines = ["import threading", "", "LOCK = threading.Lock()"]
+    lines += [f"{v} = 0" for v in SHARED]
+    lines += [f"only{i} = 0" for i in range(len(spec))]
+    for i, worker in enumerate(spec):
+        lines += ["", f"def w{i}():",
+                  f"    global {', '.join(SHARED)}, only{i}",
+                  f"    only{i} += 1"]
+        for var, write, locked in worker:
+            stmt = f"{var} += 1" if write else f"print({var})"
+            if locked:
+                lines += ["    with LOCK:", f"        {stmt}"]
+            else:
+                lines += [f"    {stmt}"]
+    lines += ["", "def main():"]
+    for i in range(len(spec)):
+        lines += [f"    t{i} = threading.Thread(target=w{i})"]
+    for i in range(len(spec)):
+        lines += [f"    t{i}.start()"]
+    for i in range(len(spec)):
+        lines += [f"    t{i}.join()"]
+    lines += ["", "main()", ""]
+    return "\n".join(lines)
+
+
+def render_program(spec):
+    """The same spec as an executable generator-DSL Program."""
+
+    def make_worker(index, worker):
+        def gen():
+            yield ops.rd(f"only{index}")
+            yield ops.wr(f"only{index}")
+            for var, write, locked in worker:
+                if locked:
+                    yield ops.acq("LOCK")
+                yield ops.rd(var)
+                if write:
+                    yield ops.wr(var)
+                if locked:
+                    yield ops.rel("LOCK")
+        return gen
+
+    workers = [make_worker(i, w) for i, w in enumerate(spec)]
+
+    def main_thread():
+        for i in range(len(workers)):
+            yield ops.fork(f"w{i}", workers[i])
+        for i in range(len(workers)):
+            yield ops.join(f"w{i}")
+
+    return Program(name="spec", main=main_thread)
+
+
+class TestRandomPairedPrograms:
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs, seed=st.integers(min_value=0, max_value=999))
+    def test_coverage_contract(self, spec, seed):
+        report = scan_source(render_source(spec), path="spec.py",
+                             name="spec")
+        racy = dynamic_race_variables(render_program(spec), [seed])
+        for var in sorted(racy):
+            assert report.covers(var), (
+                f"dynamic race on {var!r} not covered; spec={spec!r}")
+            assert not report.pruned_matches(var), (
+                f"{var!r} races but was pruned; spec={spec!r}")
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs)
+    def test_worker_private_globals_are_pruned(self, spec):
+        report = scan_source(render_source(spec), path="spec.py",
+                             name="spec")
+        pruned = set(report.pruned_labels())
+        for i in range(len(spec)):
+            assert f"only{i}" in pruned

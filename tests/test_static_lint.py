@@ -27,7 +27,14 @@ def codes(diagnostics):
 class TestCleanTraces:
     @pytest.mark.parametrize("name", sorted(LITMUS))
     def test_litmus_traces_lint_clean(self, name):
-        assert lint_events(LITMUS[name]().events) == []
+        diags = lint_events(LITMUS[name]().events)
+        if name == "wcp_deadlock":
+            # This trace's whole point is that x is accessed under
+            # disjoint locksets — SA133 flagging it is a true positive.
+            assert codes(diags) == ["SA133"]
+            assert diags[0].severity is Severity.WARNING
+        else:
+            assert diags == []
 
     def test_fork_join_volatiles_clean(self):
         b = (TraceBuilder()
