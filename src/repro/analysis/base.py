@@ -50,6 +50,57 @@ class AccessHistory:
     tids: Set[Tid] = field(default_factory=set)
 
 
+class GCFloors:
+    """Retirement floors for streaming metadata GC (:mod:`repro.serve`).
+
+    ``covers`` maps every *live* thread ``v`` (one that may still produce
+    events: started and neither ended nor joined, or forked and not yet
+    begun) to its *cover*: a component-wise lower bound on every clock
+    ``v`` will ever use to observe other threads under the detector's
+    relation. For HB that is ``C_v``; for WCP the component-wise min of
+    ``H_v`` and ``P_v`` (a forked child's initial ``P`` is the parent's
+    ``H`` snapshot, so both must cover); for DC the thread clock. A
+    pending forked child's cover is its stored fork snapshot, which
+    lower-bounds its future clocks.
+
+    A metadata entry attributed to thread ``u`` at thread-local time
+    ``t`` is retirable iff ``t <= floor(u)`` — every live thread other
+    than ``u`` already has ``u``'s component at ``>= t``, so no future
+    race check or rule-(a)/(b) join can observe the entry: race scans
+    see ``local_time <= clock.get(u)`` (not racing) and source-clock
+    joins see ``target.get(u) >= t`` (skipped). Retiring it is therefore
+    invisible to verdicts, racing sets, counters, and the DC edge list —
+    the property the GC differential tests pin.
+
+    Soundness requires a *fork-closed* stream: a thread that appeared
+    out of nowhere would start with an empty clock and could race with
+    already-retired entries. The serve session enforces that for
+    GC-enabled sessions.
+    """
+
+    __slots__ = ("_covers", "_dead", "_floors")
+
+    def __init__(self, covers: Dict[Tid, Dict[Tid, int]],
+                 dead: Collection[Tid]):
+        self._covers = covers
+        self._dead = frozenset(dead)
+        self._floors: Dict[Tid, float] = {}
+
+    def floor(self, u: Tid) -> float:
+        """Min of every live thread's (other than ``u``) cover of ``u``;
+        ``+inf`` when no other live thread exists."""
+        f = self._floors.get(u)
+        if f is None:
+            f = min((cover.get(u, 0) for v, cover in self._covers.items()
+                     if v != u), default=float("inf"))
+            self._floors[u] = f
+        return f
+
+    def is_dead(self, u: Tid) -> bool:
+        """Can thread ``u`` produce no further events (ended or joined)?"""
+        return u in self._dead
+
+
 class Detector(abc.ABC):
     """Base class for online race detectors.
 
@@ -352,10 +403,15 @@ class Detector(abc.ABC):
             # when that can never happen, skip the copy entirely.
             snapshot2 = None
         tids.add(tid)
-        if e.is_write:
-            history.last_write[tid] = (e, snapshot2)
-        else:
-            history.last_read[tid] = (e, snapshot2)
+        # Re-insert at the end so table order is most-recent-last, a pure
+        # function of the access sequence: the force-ordering loop above
+        # consumes `racing` in table order and joins clocks as it goes, so
+        # an order that depended on *first* access (dict in-place update)
+        # would diverge once streaming GC removed and re-admitted a thread.
+        table = history.last_write if e.is_write else history.last_read
+        if tid in table:
+            del table[tid]
+        table[tid] = (e, snapshot2)
         return race
 
     def bump(self, counter: str, amount: int = 1) -> None:
@@ -363,3 +419,63 @@ class Detector(abc.ABC):
         assert self.report is not None
         counters = self.report.counters
         counters[counter] = counters.get(counter, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Streaming metadata GC (driven by repro.serve between events)
+    # ------------------------------------------------------------------
+    def gc_cover_clocks(self, tid: Tid) -> List[VectorClock]:
+        """The clocks whose component-wise min is live thread ``tid``'s
+        cover under this relation (see :class:`GCFloors`); empty when the
+        detector holds no clock for ``tid`` yet. Implemented by the
+        reference detectors (HB/WCP/DC) that the serve sessions run."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support streaming GC")
+
+    def gc_collect(self, floors: GCFloors) -> int:
+        """Retire metadata no live thread can ever observe again; returns
+        the number of entries dropped. Subclasses extend this with their
+        relation-specific tables."""
+        return self.gc_retire_history(floors)
+
+    def gc_drop_thread(self, tid: Tid) -> None:
+        """Forget per-thread state of a *joined* thread (its clock can
+        never be read again: no further events, and a second join is
+        structurally invalid). Subclasses extend."""
+        self._snap_cache.pop(tid, None)
+
+    def gc_retire_history(self, floors: GCFloors) -> int:
+        """Drop access-history entries below the retirement floor.
+
+        An entry races with a future access of live thread ``v`` only if
+        ``local_time > clock_v(u)``; at or below the floor that is false
+        for every live ``v``, so the scan in :meth:`check_access` could
+        never include it in ``racing``. Shrinking :attr:`AccessHistory.tids`
+        alongside keeps the single-accessor scan-skip gate consistent
+        (a variable whose foreign entries all retired behaves like a
+        fresh single-threaded one — same verdicts either way).
+        """
+        assert self.trace is not None
+        local_time = self.trace.local_time
+        retired = 0
+        dead_vars: List[Target] = []
+        for target, history in self._history.items():
+            for table in (history.last_write, history.last_read):
+                drop = [u for u, (prior, _snap) in table.items()
+                        if local_time[prior.eid] <= floors.floor(u)]
+                for u in drop:
+                    del table[u]
+                retired += len(drop)
+            if history.last_write or history.last_read:
+                live_tids = set(history.last_write)
+                live_tids.update(history.last_read)
+                history.tids &= live_tids
+            else:
+                dead_vars.append(target)
+        for target in dead_vars:
+            del self._history[target]
+        return retired
+
+    def gc_live_entries(self) -> int:
+        """Access-history entries currently held (bounded-memory tests)."""
+        return sum(len(h.last_write) + len(h.last_read)
+                   for h in self._history.values())

@@ -243,6 +243,15 @@ class _DenseSourceClocks:
     def __init__(self) -> None:
         self.entries: Dict[int, Tuple[int, int, List[int]]] = {}
 
+    def record(self, ti: int, eid: int, t: int, snapshot: List[int]) -> None:
+        """(Re-)insert at the end: iteration order is most-recent-last,
+        matching :meth:`SourceClocks.record` (the reference), whose order
+        the edge-minimising :meth:`join_into` scan is sensitive to."""
+        entries = self.entries
+        if ti in entries:
+            del entries[ti]
+        entries[ti] = (eid, t, snapshot)
+
     def join_into(self, values: List[int], skip_ti: int) -> Optional[List[int]]:
         """Join every other thread's snapshot whose source event is not
         already covered (vector-clock edge minimisation). Returns the
@@ -541,7 +550,12 @@ class _EpochDetectorBase(Detector):
                         self._snap_ok[ti] = False
                         self._forced_order_dense(rec[1], e, rec[2])
         snap2 = self._take_snapshot(ti, values)
+        # Most-recent-last re-insertion, matching Detector.check_access:
+        # the force loop above consumes `racing` in table order, so table
+        # order must be a pure function of the access sequence.
         if is_write:
+            if ti in writes:
+                del writes[ti]
             writes[ti] = (t, e, snap2)
             if self._use_gates:
                 st.we_time = t
@@ -549,6 +563,8 @@ class _EpochDetectorBase(Detector):
                 st.rg_time = 0
                 st.rg_shared = False
         else:
+            if ti in reads:
+                del reads[ti]
             reads[ti] = (t, e, snap2)
             if self._use_gates and not st.rg_shared:
                 rg_t = st.rg_time
@@ -823,12 +839,12 @@ class EpochWCPDetector(_EpochDetectorBase):
                 table = self._cs_writes.get(li * nv + vi)
                 if table is None:
                     table = self._cs_writes[li * nv + vi] = _DenseSourceClocks()
-                table.entries[ti] = (eid, t, h_snapshot)
+                table.record(ti, eid, t, h_snapshot)
             for vi in read_vars:
                 table = self._cs_reads.get(li * nv + vi)
                 if table is None:
                     table = self._cs_reads[li * nv + vi] = _DenseSourceClocks()
-                table.entries[ti] = (eid, t, h_snapshot)
+                table.record(ti, eid, t, h_snapshot)
         queues.on_release(eid, t, h_snapshot)
         self._lock_h[li] = h_snapshot
         self._lock_p[li] = p.copy()
@@ -878,7 +894,7 @@ class EpochWCPDetector(_EpochDetectorBase):
             table.join_into(h, ti)
             if table.join_into(p, ti) is not None:
                 self._snap_ok[ti] = False
-        writes.entries[ti] = (eid, t, h.copy())
+        writes.record(ti, eid, t, h.copy())
 
     def on_volatile_read(self, e: Event) -> None:
         eid = e.eid
@@ -894,7 +910,7 @@ class EpochWCPDetector(_EpochDetectorBase):
         reads = self._vol_reads[xi]
         if reads is None:
             reads = self._vol_reads[xi] = _DenseSourceClocks()
-        reads.entries[ti] = (eid, t, h.copy())
+        reads.record(ti, eid, t, h.copy())
 
 
 class EpochDCDetector(_EpochDetectorBase):
@@ -1174,12 +1190,12 @@ class EpochDCDetector(_EpochDetectorBase):
                 table = self._cs_writes.get(li * nv + vi)
                 if table is None:
                     table = self._cs_writes[li * nv + vi] = _DenseSourceClocks()
-                table.entries[ti] = (eid, t, snapshot)
+                table.record(ti, eid, t, snapshot)
             for vi in read_vars:
                 table = self._cs_reads.get(li * nv + vi)
                 if table is None:
                     table = self._cs_reads[li * nv + vi] = _DenseSourceClocks()
-                table.entries[ti] = (eid, t, snapshot)
+                table.record(ti, eid, t, snapshot)
         queues.on_release(eid, t, snapshot)
 
     # ------------------------------------------------------------------
@@ -1232,7 +1248,7 @@ class EpochDCDetector(_EpochDetectorBase):
                 self._snap_ok[ti] = False
                 for s in sources:
                     self._add_edge(s, eid)
-        writes.entries[ti] = (eid, t, values.copy())
+        writes.record(ti, eid, t, values.copy())
 
     def on_volatile_read(self, e: Event) -> None:
         eid = e.eid
@@ -1250,4 +1266,4 @@ class EpochDCDetector(_EpochDetectorBase):
         reads = self._vol_reads[xi]
         if reads is None:
             reads = self._vol_reads[xi] = _DenseSourceClocks()
-        reads.entries[ti] = (eid, t, values.copy())
+        reads.record(ti, eid, t, values.copy())

@@ -23,10 +23,15 @@ rules (a) and (b)) and differ only in which relation they compose with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, TypeVar
 
 from repro.core.events import Tid
 from repro.core.vectorclock import VectorClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.base import GCFloors
+
+_K = TypeVar("_K")
 
 
 class SourceClocks:
@@ -41,7 +46,19 @@ class SourceClocks:
     def record(self, tid: Tid, eid: int, local_time: int,
                clock: VectorClock) -> None:
         """Remember ``clock`` as the snapshot for thread ``tid``'s latest
-        relevant event. The snapshot must never be mutated afterwards."""
+        relevant event. The snapshot must never be mutated afterwards.
+
+        The entry is (re-)inserted at the *end* of the table, so the
+        iteration order :meth:`join_into` sees is always most-recent-last
+        — a pure function of the record sequence. This matters because
+        ``join_into`` mutates the target clock mid-scan (an early join
+        can cover a later entry and suppress its edge): if a replaced key
+        kept its old dict position, removing an entry (streaming GC) and
+        re-recording it later would land it in a different position than
+        an uninterrupted run, and the DC edge list would diverge.
+        """
+        if tid in self._entries:
+            del self._entries[tid]
         self._entries[tid] = (eid, local_time, clock)
 
     def join_into(self, target: VectorClock, skip_tid: Tid) -> List[int]:
@@ -65,6 +82,24 @@ class SourceClocks:
 
     def __bool__(self) -> bool:
         return bool(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def gc_retire(self, floors: "GCFloors") -> int:
+        """Drop entries at or below the retirement floor (streaming GC).
+
+        A retired entry could never contribute again: every live thread
+        ``v ≠ u`` has ``clock_v(u) >= local_time``, so
+        :meth:`join_into`'s covered-source skip would fire for it (no
+        join, no ``new_sources`` eid) — removal is observationally
+        identical, including for the DC edge list.
+        """
+        drop = [tid for tid, (_eid, local_time, _clock) in self._entries.items()
+                if local_time <= floors.floor(tid)]
+        for tid in drop:
+            del self._entries[tid]
+        return len(drop)
 
 
 @dataclass
@@ -144,3 +179,75 @@ class LockQueues:
                     i += 1
                 my_cursors[tid] = i
         return new_sources
+
+    def gc_retire(self, floors: "GCFloors",
+                  own_clock: Callable[[Tid], Optional[VectorClock]]) -> int:
+        """Drop closed critical-section records no future release can
+        join (streaming GC), preserving :meth:`apply_rule_b` behaviour
+        bit-for-bit.
+
+        A record of thread ``u`` is droppable when
+
+        * every live observer ``v ≠ u`` covers its release time (the
+          floor) — their rule-(b) scans would pass it join-free, merely
+          advancing the cursor; and
+        * ``u`` itself can never join it either: ``u`` is dead, or
+          ``u``'s apply-side clock (WCP: ``P_u``, which lacks own
+          program order and *does* consume own records) already
+          dominates the recorded release snapshot, making the join
+          condition ``clock.get(u) < rel_local_time`` false forever
+          (the snapshot carries its own component).
+
+        Only a *prefix* of a thread's FIFO queue may drop (the break
+        conditions are per-record but cursor consumption is in order);
+        observer cursors shift down with the prefix. Record lists and
+        cursors of dead threads are removed outright — a dead thread
+        neither acquires (so its dict slot can go without perturbing
+        ``records`` iteration order, which the DC edge order depends
+        on) nor releases (so its cursor is never read again).
+        """
+        retired = 0
+        for tid in list(self.records):
+            recs = self.records[tid]
+            floor = floors.floor(tid)
+            own = None if floors.is_dead(tid) else own_clock(tid)
+            drop = 0
+            for rec in recs:
+                if not rec.closed or rec is self.open_record:
+                    break
+                if rec.rel_local_time > floor:
+                    break
+                if own is not None:
+                    assert rec.rel_clock is not None
+                    if not own.dominates(rec.rel_clock):
+                        break
+                drop += 1
+            if drop:
+                del recs[:drop]
+                retired += drop
+                for cursors in self.cursors.values():
+                    i = cursors.get(tid)
+                    if i is not None:
+                        cursors[tid] = i - drop if i > drop else 0
+            if not recs and floors.is_dead(tid):
+                del self.records[tid]
+        for observer in list(self.cursors):
+            if floors.is_dead(observer):
+                del self.cursors[observer]
+        return retired
+
+
+def _retire_source_tables(tables: Dict[_K, SourceClocks],
+                          floors: "GCFloors") -> int:
+    """Retire covered entries from a dict of :class:`SourceClocks`,
+    dropping keys whose table empties (lookups are by key, so removal
+    cannot perturb any iteration order the analyses depend on)."""
+    retired = 0
+    empty: List[_K] = []
+    for key, table in tables.items():
+        retired += table.gc_retire(floors)
+        if not table:
+            empty.append(key)
+    for key in empty:
+        del tables[key]
+    return retired

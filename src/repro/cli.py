@@ -18,7 +18,12 @@ Sub-commands:
   trace;
 * ``profile <trace-file|workload>`` — run the full pipeline with
   observability enabled and print the per-phase span tree plus the
-  metrics summary (see :mod:`repro.obs`).
+  metrics summary (see :mod:`repro.obs`);
+* ``serve`` — run the streaming analysis daemon (:mod:`repro.serve`):
+  long-lived client sessions over unix/TCP sockets speaking the framed
+  ``vindicator.serve/1`` protocol, a ``*.trace`` drop directory,
+  windowed metadata GC, checkpoint/resume, and live Prometheus
+  ``/metrics`` (see ``docs/SERVING.md``).
 
 ``analyze``, ``litmus``, and ``workload`` accept ``--prefilter`` (skip
 vector-clock race checks on variables the lockset pre-analysis proves
@@ -328,6 +333,48 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve.server import ServeDaemon
+
+    try:
+        daemon = ServeDaemon(
+            unix_socket=args.socket, port=args.port, host=args.host,
+            jobs=args.jobs, checkpoint_dir=args.checkpoint_dir,
+            watch_dir=args.watch, metrics_port=args.metrics_port)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    daemon.start()
+
+    def _stop(signum: int, frame: object) -> None:
+        daemon._stop.set()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+
+    if args.socket:
+        print(f"listening on unix socket {args.socket}", file=sys.stderr)
+    if daemon.tcp_address is not None:
+        host, port = daemon.tcp_address
+        print(f"listening on tcp {host}:{port}", file=sys.stderr)
+    if daemon.metrics_address is not None:
+        host, port = daemon.metrics_address
+        print(f"metrics on http://{host}:{port}/metrics", file=sys.stderr)
+    if args.watch:
+        print(f"watching {args.watch} for *.trace files", file=sys.stderr)
+    print(f"{args.jobs} shard(s); checkpoints in {daemon.checkpoint_dir}",
+          file=sys.stderr)
+
+    daemon.serve_forever()
+    daemon.shutdown()
+    for doc in daemon.final_checkpoints:
+        print(f"checkpointed session {doc['session']!r} "
+              f"({doc['events']} events) to {doc['path']}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -460,6 +507,35 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_flag(profile)
     add_variant_flags(profile)
     profile.set_defaults(func=_cmd_profile)
+
+    serve = sub.add_parser(
+        "serve", help="run the streaming analysis daemon: framed NDJSON "
+                      "sessions over unix/TCP sockets, a *.trace drop "
+                      "directory, live /metrics, graceful drain with "
+                      "final checkpoints (see docs/SERVING.md)")
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="unix-domain socket to listen on")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="TCP port to listen on (0 = ephemeral; the "
+                            "chosen port is printed at startup)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --port and --metrics-port "
+                            "(default: 127.0.0.1)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="shard sessions across N worker processes "
+                            "(default: 1, in-process)")
+    serve.add_argument("--watch", metavar="DIR", default=None,
+                       help="also poll DIR for dropped *.trace files "
+                            "(results land next to them as "
+                            "*.result.json)")
+    serve.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="where drain/default checkpoints are written "
+                            "(default: current directory)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="N",
+                       help="serve Prometheus /metrics and /healthz on "
+                            "this HTTP port (0 = ephemeral)")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -18,7 +18,11 @@ silently misparsing:
 * ``vindicator.scan/1`` — ``vindicator scan --json``: the source-level
   static analysis report — per-module tier classification, SA2xx
   findings, and the instrumentation plan the future dynamic frontend
-  consumes (see ``docs/ALGORITHMS.md``).
+  consumes (see ``docs/ALGORITHMS.md``);
+* ``vindicator.serve/1`` — the framed NDJSON request/response protocol
+  of the streaming daemon (``vindicator serve``): session lifecycle
+  (``hello``/``events``/``status``/``races``/``finish``), checkpoint
+  control, and the structured error envelope (see ``docs/SERVING.md``).
 
 Validation is a dependency-free subset of JSON Schema (``type``,
 ``properties``, ``required``, ``additionalProperties``, ``items``,
@@ -41,6 +45,7 @@ OBS_SNAPSHOT_SCHEMA_ID = "vindicator.obs-snapshot/1"
 ANALYZE_SCHEMA_ID = "vindicator.analyze/1"
 LINT_SCHEMA_ID = "vindicator.lint/1"
 SCAN_SCHEMA_ID = "vindicator.scan/1"
+SERVE_SCHEMA_ID = "vindicator.serve/1"
 
 
 class SchemaError(ValueError):
@@ -490,6 +495,176 @@ SCAN_SCHEMA: Dict[str, object] = {
         "modules": {"type": "array", "items": _SCAN_MODULE},
     },
 }
+
+
+# ----------------------------------------------------------------------
+# serve protocol (vindicator.serve/1)
+# ----------------------------------------------------------------------
+_SERVE_ERROR_CODES = ["bad-frame", "bad-request", "unknown-session",
+                      "session-exists", "session-finished",
+                      "malformed-trace", "trace-format", "checkpoint",
+                      "too-large", "internal"]
+
+_SESSION_CONFIG = {
+    "type": "object",
+    "additionalProperties": False,
+    "properties": {
+        "gc_window": {"type": "integer"},
+        "build_graph": {"type": "boolean"},
+        "vindicate_all": {"type": "boolean"},
+        "policy": {"type": "string"},
+        "transitive_force": {"type": "boolean"},
+        "require_fork_closed": {"type": ["boolean", "null"]},
+    },
+}
+
+_SESSION_STATUS = {
+    "type": "object",
+    "required": ["session", "events", "threads", "finished",
+                 "gc_runs", "gc_retired", "trace_hash"],
+    "properties": {
+        "session": {"type": "string"},
+        "events": {"type": "integer"},
+        "threads": {"type": "integer"},
+        "finished": {"type": "boolean"},
+        "gc_runs": {"type": "integer"},
+        "gc_retired": {"type": "integer"},
+        "trace_hash": {"type": "string"},
+        "races": {"type": "object",
+                  "additionalProperties": {"type": "integer"}},
+    },
+}
+
+#: Per-op request contracts. Every request carries ``op``; session ops
+#: carry ``session``.
+_SERVE_REQUEST_SCHEMAS: Dict[str, Schema] = {
+    "ping": {"type": "object", "required": ["op"]},
+    "sessions": {"type": "object", "required": ["op"]},
+    "shutdown": {"type": "object", "required": ["op"]},
+    "hello": {
+        "type": "object",
+        "required": ["op", "session"],
+        "additionalProperties": False,
+        "properties": {
+            "op": {"enum": ["hello"]},
+            "session": {"type": "string"},
+            "config": _SESSION_CONFIG,
+            "resume": {"type": ["string", "null"]},
+        },
+    },
+    "events": {
+        "type": "object",
+        "required": ["op", "session", "lines"],
+        "additionalProperties": False,
+        "properties": {
+            "op": {"enum": ["events"]},
+            "session": {"type": "string"},
+            "lines": {"type": "array", "items": {"type": "string"}},
+        },
+    },
+    "status": {"type": "object", "required": ["op", "session"],
+               "properties": {"session": {"type": "string"}}},
+    "races": {"type": "object", "required": ["op", "session"],
+              "properties": {"session": {"type": "string"}}},
+    "finish": {"type": "object", "required": ["op", "session"],
+               "properties": {"session": {"type": "string"}}},
+    "checkpoint": {
+        "type": "object",
+        "required": ["op", "session"],
+        "properties": {
+            "session": {"type": "string"},
+            "path": {"type": ["string", "null"]},
+        },
+    },
+}
+
+#: Fields each successful response must carry (beyond the envelope).
+_SERVE_RESPONSE_REQUIRED: Dict[str, List[str]] = {
+    "ping": [],
+    "sessions": ["sessions"],
+    "shutdown": [],
+    "hello": ["session", "resumed", "events"],
+    "events": ["accepted", "events"],
+    "status": ["status"],
+    "races": ["races"],
+    "finish": ["report", "trace_hash"],
+    "checkpoint": ["path", "bytes", "events", "trace_hash"],
+}
+
+_SERVE_RESPONSE_FIELD_SCHEMAS: Dict[str, Schema] = {
+    "sessions": {"type": "array", "items": _SESSION_STATUS},
+    "session": {"type": "string"},
+    "resumed": {"type": "boolean"},
+    "events": {"type": "integer"},
+    "accepted": {"type": "integer"},
+    "status": _SESSION_STATUS,
+    "races": {
+        "type": "object",
+        "required": ["analyses", "race_classes"],
+        "properties": {
+            "analyses": {"type": "object", "additionalProperties": _ANALYSIS},
+            "race_classes": {"type": "object",
+                             "additionalProperties": {"type": "integer"}},
+        },
+    },
+    "report": ANALYZE_SCHEMA,
+    "trace_hash": {"type": "string"},
+    "path": {"type": "string"},
+    "bytes": {"type": "integer"},
+}
+
+_SERVE_ERROR = {
+    "type": "object",
+    "required": ["code", "message"],
+    "properties": {
+        "code": {"enum": _SERVE_ERROR_CODES},
+        "message": {"type": "string"},
+        "event_index": {"type": "integer"},
+        "line_number": {"type": "integer"},
+    },
+}
+
+
+def validate_serve_request(doc: object, path: str = "$") -> str:
+    """Validate one ``vindicator.serve/1`` request; returns its ``op``."""
+    if not isinstance(doc, dict):
+        raise SchemaError(path, f"request must be an object, got "
+                                f"{type(doc).__name__}")
+    op = doc.get("op")
+    schema = _SERVE_REQUEST_SCHEMAS.get(op) if isinstance(op, str) else None
+    if schema is None:
+        raise SchemaError(path, f"unknown op {op!r}")
+    validate(doc, schema, path, defs=_DEFS)
+    return op  # type: ignore[return-value]
+
+
+def validate_serve_response(doc: object, path: str = "$") -> str:
+    """Validate one ``vindicator.serve/1`` response; returns its ``op``."""
+    if not isinstance(doc, dict):
+        raise SchemaError(path, f"response must be an object, got "
+                                f"{type(doc).__name__}")
+    validate(doc, {
+        "type": "object",
+        "required": ["schema", "ok", "op"],
+        "properties": {
+            "schema": {"enum": [SERVE_SCHEMA_ID]},
+            "ok": {"type": "boolean"},
+            "op": {"type": "string"},
+        },
+    }, path, defs=_DEFS)
+    op = doc["op"]
+    if not doc["ok"]:
+        if "error" not in doc:
+            raise SchemaError(path, "failed response missing 'error'")
+        validate(doc["error"], _SERVE_ERROR, f"{path}.error", defs=_DEFS)
+        return op  # type: ignore[return-value]
+    for key in _SERVE_RESPONSE_REQUIRED.get(op, []):
+        if key not in doc:
+            raise SchemaError(path, f"ok {op!r} response missing {key!r}")
+    for key, sub in _SERVE_RESPONSE_FIELD_SCHEMAS.items():
+        if key in doc:
+            validate(doc[key], sub, f"{path}.{key}", defs=_DEFS)
+    return op  # type: ignore[return-value]
 
 
 # ----------------------------------------------------------------------

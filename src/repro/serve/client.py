@@ -1,0 +1,123 @@
+"""A small synchronous client for the serve protocol.
+
+Used by the CLI smoke paths, the throughput benchmark, and the tests;
+also a reference implementation for anyone writing their own. Every
+response is schema-validated
+(:func:`repro.obs.schema.validate_serve_response`) before it is
+returned, so protocol drift fails loudly at the client boundary.
+
+Failed responses raise :class:`ServeError` carrying the server's
+structured error (code, message, event index); callers that want the
+raw response can pass ``check=False`` to :meth:`ServeClient.request`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.exceptions import ReproError
+from repro.obs.schema import validate_serve_response
+from repro.serve.protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+
+
+class ServeError(ReproError):
+    """The daemon answered with a structured error."""
+
+    def __init__(self, error: Dict[str, Any]):
+        code = error.get("code", "internal")
+        super().__init__(f"[{code}] {error.get('message', '')}")
+        self.code = code
+        self.error = error
+
+
+class ServeClient:
+    """One connection to a daemon, over unix or TCP socket.
+
+    Args:
+        path: Unix-domain socket path (mutually exclusive with address).
+        address: ``(host, port)`` for TCP.
+        timeout: Socket timeout in seconds (None = block forever).
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 address: Optional[Tuple[str, int]] = None,
+                 timeout: Optional[float] = 30.0):
+        if (path is None) == (address is None):
+            raise ValueError("pass exactly one of path= or address=")
+        if path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(path)
+        else:
+            assert address is not None
+            self._sock = socket.create_connection(address, timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    # ------------------------------------------------------------------
+    def request(self, doc: Dict[str, Any], check: bool = True) -> Dict[str, Any]:
+        """Send one request, read and validate one response."""
+        self._sock.sendall(encode_frame(doc))
+        line = self._reader.readline(MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ServeError({"code": "internal",
+                              "message": "connection closed by daemon"})
+        response = decode_frame(line)
+        validate_serve_response(response)
+        if check and not response.get("ok"):
+            raise ServeError(response["error"])
+        return response
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers (one per protocol op)
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def hello(self, session: str, config: Optional[Dict[str, Any]] = None,
+              resume: Optional[str] = None) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"op": "hello", "session": session}
+        if config is not None:
+            doc["config"] = config
+        if resume is not None:
+            doc["resume"] = resume
+        return self.request(doc)
+
+    def events(self, session: str, lines: Iterable[str]) -> Dict[str, Any]:
+        return self.request({"op": "events", "session": session,
+                             "lines": list(lines)})
+
+    def status(self, session: str) -> Dict[str, Any]:
+        return self.request({"op": "status", "session": session})["status"]
+
+    def races(self, session: str) -> Dict[str, Any]:
+        return self.request({"op": "races", "session": session})["races"]
+
+    def finish(self, session: str) -> Dict[str, Any]:
+        return self.request({"op": "finish", "session": session})
+
+    def checkpoint(self, session: str,
+                   path: Optional[str] = None) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"op": "checkpoint", "session": session}
+        if path is not None:
+            doc["path"] = path
+        return self.request(doc)
+
+    def sessions(self) -> List[Dict[str, Any]]:
+        return self.request({"op": "sessions"})["sessions"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})

@@ -1,0 +1,196 @@
+"""An incrementally built trace that detectors can analyze while it grows.
+
+:class:`StreamingTrace` duck-types the slice of the
+:class:`~repro.core.trace.Trace` surface the online detectors touch
+during the event loop — ``local_time`` indexing, ``held_locks`` of the
+*current* event, ``len``, ``threads`` — while events arrive one at a
+time from a client stream. It performs the same structural validation
+``Trace`` does at construction, but incrementally, rejecting the first
+bad event with a :class:`~repro.core.exceptions.MalformedTraceError`
+carrying its stream index (the daemon parses untrusted client bytes, so
+nothing may escape as a raw ``KeyError``/``IndexError``).
+
+The accepted events are retained only in packed columnar form
+(:class:`~repro.traces.packed.PackedBuilder`, ~17 bytes/event), which
+doubles as the checkpoint payload; :meth:`StreamingTrace.to_trace`
+materialises a real ``Trace`` when the session finishes and the batch
+finalisation pipeline takes over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.events import Event, EventKind, Target, Tid
+from repro.core.exceptions import MalformedTraceError
+from repro.core.trace import Trace
+from repro.traces.packed import PackedBuilder
+
+_ACCESS_KINDS = (EventKind.READ, EventKind.WRITE,
+                 EventKind.VOLATILE_READ, EventKind.VOLATILE_WRITE)
+
+
+class StreamingTrace:
+    """A growing, validated event stream with the online-``Trace`` surface.
+
+    Args:
+        require_fork_closed: Reject events from threads that were never
+            forked (the first thread ever seen — the root — excepted).
+            Metadata GC is sound only on fork-closed streams: a thread
+            appearing out of nowhere starts with an empty clock and
+            could race with already-retired entries, so GC-enabled
+            sessions must run with this on.
+    """
+
+    def __init__(self, require_fork_closed: bool = False,
+                 provenance: Optional[Dict[str, object]] = None):
+        self.require_fork_closed = require_fork_closed
+        self.builder = PackedBuilder(provenance=provenance)
+        self.provenance: Dict[str, object] = self.builder.provenance
+        #: Thread-local 1-based times, indexable by eid (detector surface).
+        self.local_time = self.builder.local_time
+        self._threads: Dict[Tid, None] = {}  # insertion-ordered set
+        self._forked: Set[Tid] = set()
+        self._joined: Set[Tid] = set()
+        self._ended: Set[Tid] = set()
+        self._lock_holder: Dict[Target, Tid] = {}
+        self._lock_stacks: Dict[Tid, List[Target]] = {}
+
+    # ------------------------------------------------------------------
+    # Trace surface used by the detectors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.builder)
+
+    @property
+    def threads(self) -> List[Tid]:
+        """Thread ids in order of first appearance."""
+        return list(self._threads)
+
+    def held_locks(self, e: Event) -> Tuple[Target, ...]:
+        """Locks held by ``thr(e)`` at the *current* event (outermost
+        first) — only valid for the most recently appended access, which
+        is the only way the detectors use it mid-stream."""
+        stack = self._lock_stacks.get(e.tid)
+        return () if stack is None else tuple(stack)
+
+    # ------------------------------------------------------------------
+    # Liveness bookkeeping consumed by the GC driver
+    # ------------------------------------------------------------------
+    def dead_tids(self) -> Set[Tid]:
+        """Threads that can produce no further events (ended or joined)."""
+        return self._ended | self._joined
+
+    def joined_tids(self) -> Set[Tid]:
+        return set(self._joined)
+
+    def cover_tids(self) -> List[Tid]:
+        """Threads whose clocks constrain retirement: every started
+        thread that is not dead, plus forked-but-not-yet-begun children
+        (their stored fork snapshots lower-bound their future clocks)."""
+        dead = self.dead_tids()
+        live = [tid for tid in self._threads if tid not in dead]
+        live.extend(tid for tid in self._forked
+                    if tid not in self._threads and tid not in self._joined)
+        return live
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def append(self, e: Event) -> None:
+        """Validate and accept one event (the mirror of ``Trace``'s
+        construction-time checks, evaluated online)."""
+        eid = len(self.builder)
+        if e.eid != eid:
+            raise MalformedTraceError(
+                f"{e}: event id does not match stream position {eid}",
+                event_index=eid)
+        tid, kind, target = e.tid, e.kind, e.target
+        if tid in self._joined:
+            raise MalformedTraceError(
+                f"{e}: thread {tid!r} executes after its join", event_index=eid)
+        if tid in self._ended:
+            raise MalformedTraceError(
+                f"{e}: thread {tid!r} executes after its end", event_index=eid)
+        new_thread = tid not in self._threads
+        if (new_thread and self.require_fork_closed and self._threads
+                and tid not in self._forked):
+            raise MalformedTraceError(
+                f"{e}: thread {tid!r} appears without a fork (this session "
+                "runs metadata GC, which requires a fork-closed stream)",
+                event_index=eid)
+
+        if kind is EventKind.ACQUIRE:
+            if target is None:
+                raise MalformedTraceError(
+                    f"{e}: acquire without a target", event_index=eid)
+            holder = self._lock_holder.get(target)
+            if holder is not None:
+                raise MalformedTraceError(
+                    f"{e}: lock {target!r} already held by thread {holder!r} "
+                    "(locks are non-reentrant)", event_index=eid)
+        elif kind is EventKind.RELEASE:
+            if target is None:
+                raise MalformedTraceError(
+                    f"{e}: release without a target", event_index=eid)
+            holder = self._lock_holder.get(target)
+            if holder != tid:
+                raise MalformedTraceError(
+                    f"{e}: releases lock {target!r} not held by thread {tid!r}",
+                    event_index=eid)
+            stack = self._lock_stacks[tid]
+            if not stack or stack[-1] != target:
+                raise MalformedTraceError(
+                    f"{e}: releases lock {target!r} out of nesting order",
+                    event_index=eid)
+        elif kind is EventKind.FORK:
+            if target == tid:
+                raise MalformedTraceError(
+                    f"{e}: thread forks itself", event_index=eid)
+            if target in self._forked:
+                raise MalformedTraceError(
+                    f"{e}: thread {target!r} forked twice", event_index=eid)
+            if target in self._threads:
+                raise MalformedTraceError(
+                    f"{e}: thread {target!r} executes before its fork",
+                    event_index=eid)
+        elif kind is EventKind.JOIN:
+            if target in self._joined:
+                raise MalformedTraceError(
+                    f"{e}: thread {target!r} joined twice", event_index=eid)
+        elif kind in _ACCESS_KINDS:
+            if target is None:
+                raise MalformedTraceError(
+                    f"{e}: access without a target", event_index=eid)
+        elif kind is EventKind.BEGIN:
+            if not new_thread:
+                raise MalformedTraceError(
+                    f"{e}: begin is not thread's first event", event_index=eid)
+
+        # All checks passed: commit.
+        self.builder.append(e)
+        if new_thread:
+            self._threads[tid] = None
+        if kind is EventKind.ACQUIRE:
+            assert target is not None
+            self._lock_holder[target] = tid
+            self._lock_stacks.setdefault(tid, []).append(target)
+        elif kind is EventKind.RELEASE:
+            assert target is not None
+            del self._lock_holder[target]
+            self._lock_stacks[tid].pop()
+        elif kind is EventKind.FORK:
+            self._forked.add(target)
+        elif kind is EventKind.JOIN:
+            self._joined.add(target)
+        elif kind is EventKind.END:
+            self._ended.add(tid)
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def to_trace(self) -> Trace:
+        """The accepted events as a real :class:`Trace` (for the batch
+        finalisation pipeline). Structural validation is skipped — every
+        event was already validated on the way in."""
+        return self.builder.to_packed().unpack()

@@ -325,10 +325,11 @@ class _Linter:
             if (len(state.threads) > 1 and state.writes
                     and state.always_locked and not state.lockset):
                 self.emit("SA133",
-                          f"{target!r} is written by {len(state.threads)} "
-                          "threads, always under locks, but no common lock "
-                          "protects every access (inconsistent lockset "
-                          "discipline)", state.first_index)
+                          f"{target!r} is accessed by {len(state.threads)} "
+                          f"threads ({state.writes} writes), always under "
+                          "locks, but no common lock protects every access "
+                          "(inconsistent lockset discipline)",
+                          state.first_index)
 
 def lint_events(events: Sequence[Event]) -> List[Diagnostic]:
     """Lint a raw event sequence; never raises on malformed input.

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import List, TextIO, Tuple, Union
+from typing import List, Optional, TextIO, Tuple, Union
 
 from repro.core.events import Event, EventKind, Tid
 from repro.core.exceptions import MalformedTraceError, TraceFormatError
@@ -65,18 +65,27 @@ def dumps_trace(trace: Trace) -> str:
     return buffer.getvalue()
 
 
+def format_event(e: Event) -> str:
+    """One event as a text-format line (without the newline).
+
+    The inverse of :func:`parse_event_line`; streaming clients use this
+    to frame events for the serve protocol's ``events`` op.
+    """
+    parts = [_format_tid(e.tid), e.kind.value]
+    if e.kind in _THREAD_TARGET:
+        parts.append(_format_tid(e.target))
+    elif e.kind not in _NO_TARGET:
+        parts.append(str(e.target))
+    if e.loc is not None:
+        parts.append(str(e.loc))
+    return " ".join(parts)
+
+
 def _write(trace: Trace, handle: TextIO) -> None:
     handle.write("# repro trace: {} events, {} threads\n".format(
         len(trace), len(trace.threads)))
     for e in trace:
-        parts = [_format_tid(e.tid), e.kind.value]
-        if e.kind in _THREAD_TARGET:
-            parts.append(_format_tid(e.target))
-        elif e.kind not in _NO_TARGET:
-            parts.append(str(e.target))
-        if e.loc is not None:
-            parts.append(str(e.loc))
-        handle.write(" ".join(parts) + "\n")
+        handle.write(format_event(e) + "\n")
 
 
 def load_trace(source: Union[str, Path, TextIO], validate: bool = True) -> Trace:
@@ -108,35 +117,50 @@ def load_events(source: Union[str, Path, TextIO]) -> Tuple[List[Event], List[int
     return _parse(source)
 
 
+def parse_event_line(line: str, *, eid: int, line_number: int = -1) -> Optional[Event]:
+    """Parse one text-format line into an :class:`Event` with id ``eid``.
+
+    Returns ``None`` for blank lines and ``#`` comments. Raises
+    :class:`TraceFormatError` (carrying ``line_number``) for anything
+    that is not a well-formed event line. This is the single-line entry
+    point used both by file parsing here and by the streaming service,
+    which receives one line per frame from untrusted clients.
+    """
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    parts = line.split(None, 3)
+    if len(parts) < 2:
+        raise TraceFormatError("expected '<tid> <op> [target] [loc]'",
+                               line_number=line_number)
+    tid, op = _parse_tid(parts[0]), parts[1]
+    kind = _KIND_BY_NAME.get(op)
+    if kind is None:
+        raise TraceFormatError(f"unknown operation {op!r}", line_number=line_number)
+    target: object
+    if kind in _NO_TARGET:
+        target = None
+        loc = parts[2] if len(parts) > 2 else None
+        if len(parts) > 3:
+            loc = f"{parts[2]} {parts[3]}"
+    else:
+        if len(parts) < 3:
+            raise TraceFormatError(f"operation {op!r} needs a target",
+                                   line_number=line_number)
+        target = (_parse_tid(parts[2]) if kind in _THREAD_TARGET
+                  else parts[2])
+        loc = parts[3] if len(parts) > 3 else None
+    return Event(eid, tid, kind, target, loc)
+
+
 def _parse(handle: TextIO) -> Tuple[List[Event], List[int]]:
     events: List[Event] = []
     line_numbers: List[int] = []
     for number, raw in enumerate(handle, start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
+        event = parse_event_line(raw, eid=len(events), line_number=number)
+        if event is None:
             continue
-        parts = line.split(None, 3)
-        if len(parts) < 2:
-            raise TraceFormatError("expected '<tid> <op> [target] [loc]'",
-                                   line_number=number)
-        tid, op = _parse_tid(parts[0]), parts[1]
-        kind = _KIND_BY_NAME.get(op)
-        if kind is None:
-            raise TraceFormatError(f"unknown operation {op!r}", line_number=number)
-        target: object
-        if kind in _NO_TARGET:
-            target = None
-            loc = parts[2] if len(parts) > 2 else None
-            if len(parts) > 3:
-                loc = f"{parts[2]} {parts[3]}"
-        else:
-            if len(parts) < 3:
-                raise TraceFormatError(f"operation {op!r} needs a target",
-                                       line_number=number)
-            target = (_parse_tid(parts[2]) if kind in _THREAD_TARGET
-                      else parts[2])
-            loc = parts[3] if len(parts) > 3 else None
-        events.append(Event(len(events), tid, kind, target, loc))
+        events.append(event)
         line_numbers.append(number)
     return events, line_numbers
 

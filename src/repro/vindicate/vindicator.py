@@ -442,7 +442,24 @@ class Vindicator:
                 dc_report = dc.finish()
             sp.annotate("events", len(trace))
         analysis_seconds = time.perf_counter() - start
+        report = self.finalize(trace, hb, wcp, dc,
+                               hb_report, wcp_report, dc_report,
+                               analysis_seconds=analysis_seconds,
+                               lockset=lockset)
+        pipeline_span.annotate("events", len(trace))
+        return report
 
+    def finalize(self, trace: Trace, hb: HBDetector, wcp: "WCPDetector",
+                 dc: "DCDetector", hb_report: RaceReport,
+                 wcp_report: RaceReport, dc_report: RaceReport,
+                 analysis_seconds: float = 0.0,
+                 lockset: Optional[LocksetResult] = None) -> VindicatorReport:
+        """Everything after the per-event analysis loop: classify each
+        DC-race via the detectors' racing sets, sanitize, assemble the
+        report, and vindicate. Shared by :meth:`_run` and the streaming
+        service (:mod:`repro.serve`), whose sessions feed the same
+        detectors incrementally and must end in a bit-identical report.
+        """
         with obs.span("pipeline.classify") as sp:
             classified: List[DynamicRace] = []
             for race in dc_report.races:
@@ -488,7 +505,6 @@ class Vindicator:
                 reg.add(f"graph.{name}", value)
             for name, value in dc.graph.stats().items():
                 reg.gauge(f"graph.{name}").track_max(value)
-        pipeline_span.annotate("events", len(trace))
         return report
 
     def _run_parallel(self, trace: Trace,

