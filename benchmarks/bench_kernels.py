@@ -1,0 +1,108 @@
+"""Compiled clock kernels: speedup floors for the native backend.
+
+The compiled backend of :mod:`repro.core.kernels` exists to buy
+constant factors on the per-event hot path — the fused per-access
+kernels (``access_wcp`` / ``access_dc``) plus the dense clock ops the
+epoch detectors call between accesses. This bench pins that win: the
+SmartTrack epoch detectors (the pure-Python ``--fast-vc`` baseline)
+run the Table 4 xalan stream under the ``python`` and ``compiled``
+backends back-to-back in one process, and the ISSUE's acceptance
+floors — per-event (non-batch) WCP and DC-no-graph throughput ≥ 1.5×
+— are asserted on the ratio, so they are machine-speed independent.
+The DC graph-building configuration is reported alongside without a
+floor (its access path intentionally stays open-coded Python — graph
+edges are Python-side — so only the fine-grained kernels accelerate
+it).
+
+Results go to ``kernels.txt`` / ``BENCH_kernels.json``; the
+``kernels-perf`` CI job builds the extension, runs this bench, and
+uploads both. Skips cleanly when the extension is not built.
+"""
+
+import pytest
+
+from repro.analysis.smarttrack import EpochDCDetector, EpochWCPDetector
+from repro.core import kernels
+from repro.obs.timing import best_of
+from repro.runtime import execute
+from repro.runtime.workloads import WORKLOADS
+
+from harness import write_json, write_result
+
+pytestmark = pytest.mark.skipif(
+    not kernels.compiled_available(),
+    reason="repro.core._kernels extension not built (pure-Python checkout)")
+
+
+@pytest.fixture(scope="module")
+def raw_trace():
+    """The Table 4 xalan stream, unfiltered — the same trace the
+    smarttrack and batch floors are defined on."""
+    return execute(WORKLOADS["xalan"](scale=2.0), seed=1)
+
+
+#: (label, floor or None, detector factory). Floors are the ISSUE's
+#: acceptance bar for the fused per-access paths; DC + graph has none.
+KERNEL_CONFIGS = [
+    ("WCP epoch", 1.5, lambda: EpochWCPDetector()),
+    ("DC epoch (no graph)", 1.5,
+     lambda: EpochDCDetector(build_graph=False)),
+    ("DC epoch + graph G", None,
+     lambda: EpochDCDetector(build_graph=True)),
+]
+
+
+def test_compiled_kernel_speedup(raw_trace):
+    """python vs compiled backend on the per-event epoch detectors:
+    assert the ≥ 1.5× floors and write ``BENCH_kernels.json``."""
+    n = len(raw_trace)
+    previous = kernels.active_backend()
+    rows = []
+    try:
+        for label, floor, factory in KERNEL_CONFIGS:
+            # Warm-up runs double as an end-to-end verdict-identity
+            # check (the full contract lives in
+            # tests/test_kernels_differential.py).
+            kernels.set_backend("python")
+            py_report = factory().analyze(raw_trace)
+            py_time = best_of(lambda: factory().analyze(raw_trace),
+                              repeats=7)
+            kernels.set_backend("compiled")
+            c_report = factory().analyze(raw_trace)
+            assert ([(r.first.eid, r.second.eid) for r in py_report.races]
+                    == [(r.first.eid, r.second.eid) for r in c_report.races]
+                    ), f"{label}: compiled backend changed the race set"
+            assert py_report.counters == c_report.counters, \
+                f"{label}: compiled backend changed the counters"
+            c_time = best_of(lambda: factory().analyze(raw_trace),
+                             repeats=7)
+            rows.append((label, floor, n / py_time, n / c_time,
+                         py_time / c_time))
+    finally:
+        kernels.set_backend(previous)
+
+    lines = [f"Compiled clock kernels on the {n}-event raw xalan trace "
+             f"(best of 7, python vs compiled backend)",
+             f"{'configuration':22s} | {'python ev/s':>12s} | "
+             f"{'compiled ev/s':>13s} | {'speedup':>8s} | {'floor':>6s}",
+             "-" * 75]
+    for label, floor, py_eps, c_eps, ratio in rows:
+        floor_cell = f"{floor:5.1f}x" if floor is not None else "     -"
+        lines.append(f"{label:22s} | {py_eps:12,.0f} | {c_eps:13,.0f} | "
+                     f"{ratio:7.2f}x | {floor_cell}")
+    write_result("kernels.txt", "\n".join(lines))
+    write_json("BENCH_kernels.json", {
+        "trace": {"workload": "xalan", "scale": 2.0, "seed": 1, "events": n},
+        "best_of": 7,
+        "rows": [
+            {"configuration": label,
+             "floor": floor,
+             "python_events_per_sec": round(py_eps, 1),
+             "compiled_events_per_sec": round(c_eps, 1),
+             "speedup": round(ratio, 3)}
+            for label, floor, py_eps, c_eps, ratio in rows],
+    })
+    for label, floor, _, _, ratio in rows:
+        if floor is not None:
+            assert ratio >= floor, \
+                f"{label}: {ratio:.2f}x below the {floor:.1f}x floor"

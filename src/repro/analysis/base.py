@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Collection, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro import obs
+from repro.core import kernels as _k
 from repro.core.events import Event, EventKind, Target, Tid
 from repro.core.trace import Trace
 from repro.core.vectorclock import VectorClock
@@ -360,18 +361,17 @@ class Detector(abc.ABC):
         tids = history.tids
         if tids and (len(tids) > 1 or tid not in tids):
             # Some other thread has accessed this variable, so a racing
-            # prior is possible — scan the history. (Single-threaded-so-
-            # far variables skip straight to the bookkeeping below.)
+            # prior is possible — scan the history (one fused kernel
+            # call over the write table, plus the read table for
+            # writes). (Single-threaded-so-far variables skip straight
+            # to the bookkeeping below.)
             local_time = self.trace.local_time
             clock_get = clock.get
-            racing: List[Tuple[Event, Optional[VectorClock]]] = []
-            for prior, snapshot in history.last_write.values():
-                if prior.tid != tid and local_time[prior.eid] > clock_get(prior.tid):
-                    racing.append((prior, snapshot))
-            if e.is_write:
-                for prior, snapshot in history.last_read.values():
-                    if prior.tid != tid and local_time[prior.eid] > clock_get(prior.tid):
-                        racing.append((prior, snapshot))
+            racing: Optional[List[Tuple[Event, Optional[VectorClock]]]] = (
+                _k.scan_racing_sparse(
+                    history.last_write,
+                    history.last_read if e.is_write else None,
+                    tid, local_time, clock_get))
 
             if racing:
                 self.racing_at[e.eid] = frozenset(p.eid for p, _ in racing)
@@ -409,9 +409,7 @@ class Detector(abc.ABC):
         # an order that depended on *first* access (dict in-place update)
         # would diverge once streaming GC removed and re-admitted a thread.
         table = history.last_write if e.is_write else history.last_read
-        if tid in table:
-            del table[tid]
-        table[tid] = (e, snapshot2)
+        _k.record_latest(table, tid, (e, snapshot2))
         return race
 
     def bump(self, counter: str, amount: int = 1) -> None:

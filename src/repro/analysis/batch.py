@@ -52,7 +52,8 @@ and a ``run_events`` histogram of events per batched run.
 from __future__ import annotations
 
 import weakref
-from typing import Any, Collection, Dict, List, Optional, Tuple
+from typing import (Any, Collection, Dict, FrozenSet, List, Optional,
+                    Tuple)
 
 import numpy as np
 
@@ -90,7 +91,8 @@ class _BatchPlan:
 
     __slots__ = ("n", "T", "tid", "tgt", "lt", "prev", "access",
                  "unbatchable", "held", "multi_ev", "order", "same",
-                 "join_fix", "last_pos", "targets", "seg_cache")
+                 "join_fix", "last_pos", "targets", "seg_cache",
+                 "seg_cache_filtered")
 
     def __init__(self, trace: Trace, packed: PackedTrace):
         n = len(packed)
@@ -218,6 +220,14 @@ class _BatchPlan:
 
         #: Cached prefilter-free segmentation (see _BatchMixin._segment).
         self.seg_cache: Optional[Tuple["Any", int, int, "Any"]] = None
+        #: Per-prefilter segmentations, keyed by the detector's frozen
+        #: candidate set. The candidate-membership scan over the target
+        #: pool is the one Python-level loop on the filtered batch path;
+        #: caching the whole segmentation makes repeat analyses of one
+        #: trace (the parallel workers, the serve shards, perf runs)
+        #: pay it once per distinct filter.
+        self.seg_cache_filtered: Dict[FrozenSet[Any],
+                                      Tuple["Any", int, int, "Any"]] = {}
 
 
 #: One plan (and one packed encoding) per trace; weak keys keep the
@@ -258,6 +268,10 @@ class _BatchMixin:
     _batch_fallback = 0
     _needs_po_flush = False
     _run_lengths: Optional["Any"] = None
+    # The prefilter frozen once per detector (the seg_cache_filtered
+    # key); _pf_src tracks which collection it was frozen from.
+    _pf_frozen: Optional[FrozenSet[Any]] = None
+    _pf_src: Optional[Collection[Any]] = None
 
     def metric_label(self) -> str:
         return self.relation.lower().replace("/", "_") + "_batch"  # type: ignore[attr-defined]
@@ -296,13 +310,22 @@ class _BatchMixin:
         one thread not interrupted by a fallback event *of that
         thread*)."""
         prefilter = self.prefilter  # type: ignore[attr-defined]
+        pf_key: Optional[FrozenSet[Any]] = None
         if prefilter is None:
             if plan.seg_cache is not None:  # trace-invariant: cache it
                 return plan.seg_cache
             batched = plan.access & ~plan.unbatchable & ~plan.multi_ev
             skips = checks = 0
         else:
-            cand = np.fromiter((t in prefilter for t in plan.targets),
+            if self._pf_src is not prefilter:
+                self._pf_frozen = frozenset(prefilter)
+                self._pf_src = prefilter
+            pf_key = self._pf_frozen
+            assert pf_key is not None
+            cached = plan.seg_cache_filtered.get(pf_key)
+            if cached is not None:
+                return cached
+            cand = np.fromiter((t in pf_key for t in plan.targets),
                                dtype=bool, count=len(plan.targets))
             cand_ev = np.zeros(plan.n, dtype=bool)
             apos = np.flatnonzero(plan.access)
@@ -336,6 +359,9 @@ class _BatchMixin:
         result = (batched, skips, checks, lengths)
         if prefilter is None:
             plan.seg_cache = result
+        else:
+            assert pf_key is not None
+            plan.seg_cache_filtered[pf_key] = result
         return result
 
     # ------------------------------------------------------------------

@@ -69,7 +69,8 @@ from __future__ import annotations
 
 import weakref
 from operator import attrgetter
-from typing import Any, Collection, Dict, List, Optional, Set, Tuple
+from typing import (Any, Callable, Collection, Dict, List, Optional, Set,
+                    Tuple)
 
 from repro import obs
 from repro.analysis.base import Detector
@@ -77,12 +78,8 @@ from repro.analysis.races import DynamicRace, RaceReport
 from repro.core.events import Event, EventKind, Target, Tid
 from repro.core.exceptions import MalformedTraceError
 from repro.core.trace import Trace
-from repro.core.vectorclock_dense import (
-    DenseVectorClock,
-    TidTable,
-    join_into_list,
-    join_into_list_changed,
-)
+from repro.core import kernels as _k
+from repro.core.vectorclock_dense import DenseVectorClock, TidTable
 from repro.graph.constraint_graph import ConstraintGraph
 
 __all__ = ["EpochDCDetector", "EpochWCPDetector"]
@@ -91,6 +88,15 @@ _by_eid = attrgetter("eid")
 
 # Compact per-event kind codes (ordered so range checks dispatch fast).
 _READ, _WRITE, _ACQ, _REL, _FORK, _JOIN, _VWR, _VRD, _OTHER = range(9)
+
+# Slots of the fused-kernel counter block (``_fs``): the compiled
+# access kernel bumps these list entries at C speed instead of
+# round-tripping instance attributes; ``_drain_fused`` folds them back
+# into the named counters before anything reads them.  Order must match
+# the FS_* constants in _kernels.c.
+_FS_JOINS, _FS_FILTER_SKIPS, _FS_FILTER_CHECKS = 0, 1, 2
+_FS_EXCL_FAST, _FS_SNAP_REUSES, _FS_SNAP_COPIES = 3, 4, 5
+_FS_SLOTS = 6
 
 # Keyed by id() of the (immortal, module-level) enum member: enum's
 # __hash__ is a Python-level call, id() hashing is C-speed, and this map
@@ -247,25 +253,13 @@ class _DenseSourceClocks:
         """(Re-)insert at the end: iteration order is most-recent-last,
         matching :meth:`SourceClocks.record` (the reference), whose order
         the edge-minimising :meth:`join_into` scan is sensitive to."""
-        entries = self.entries
-        if ti in entries:
-            del entries[ti]
-        entries[ti] = (eid, t, snapshot)
+        _k.record_latest(self.entries, ti, (eid, t, snapshot))
 
     def join_into(self, values: List[int], skip_ti: int) -> Optional[List[int]]:
         """Join every other thread's snapshot whose source event is not
         already covered (vector-clock edge minimisation). Returns the
         newly ordered source eids, or None when nothing joined."""
-        out: Optional[List[int]] = None
-        for u, rec in self.entries.items():
-            if u == skip_ti or values[u] >= rec[1]:
-                continue
-            join_into_list(values, rec[2])
-            if out is None:
-                out = [rec[0]]
-            else:
-                out.append(rec[0])
-        return out
+        return _k.source_join_into(self.entries, values, skip_ti)
 
 
 class _DenseLockQueues:
@@ -311,34 +305,10 @@ class _DenseLockQueues:
         """Rule (b) fixpoint, exactly mirroring the reference: consume
         closed critical sections whose acquire is covered, joining their
         release snapshots. Returns newly ordered release eids or None."""
-        out: Optional[List[int]] = None
         cursors = self.cursors.get(observer)
         if cursors is None:
             cursors = self.cursors[observer] = {}
-        records = self.records
-        changed = True
-        while changed:
-            changed = False
-            for u, recs in records.items():
-                i = cursors.get(u, 0)
-                n = len(recs)
-                while i < n:
-                    rec = recs[i]
-                    snap = rec[3]
-                    if snap is None:
-                        break  # source critical section still open
-                    if values[u] < rec[0]:
-                        break  # FIFO heads are monotone per thread
-                    if values[u] < rec[2]:
-                        join_into_list(values, snap)
-                        if out is None:
-                            out = [rec[1]]
-                        else:
-                            out.append(rec[1])
-                        changed = True
-                    i += 1
-                cursors[u] = i
-        return out
+        return _k.rule_b_fixpoint(self.records, cursors, values)
 
 
 class _EpochDetectorBase(Detector):
@@ -373,6 +343,12 @@ class _EpochDetectorBase(Detector):
         self._n_lock_transfers = 0
         self._n_snap_copies = 0
         self._n_snap_reuses = 0
+        # The fused compiled access kernel and its context tuple (see
+        # kernels._FUSED_NAMES); None/() routes handle() through the
+        # open-coded _on_access, which defines the semantics.
+        self._c_access: Optional[Callable[..., int]] = None
+        self._ctx: Tuple[Any, ...] = ()
+        self._fs: List[int] = [0] * _FS_SLOTS
 
     def metric_label(self) -> str:
         return super().metric_label() + "_epoch"
@@ -406,6 +382,92 @@ class _EpochDetectorBase(Detector):
         self._n_lock_transfers = 0
         self._n_snap_copies = 0
         self._n_snap_reuses = 0
+        self._c_access = None
+        self._ctx = ()
+        self._fs = [0] * _FS_SLOTS
+
+    def _drain_fused(self) -> None:
+        """Fold the compiled kernel's counter block back into the named
+        instance counters (a no-op on the python backend, whose
+        open-coded paths bump the attributes directly)."""
+        fs = self._fs
+        self._n_joins += fs[_FS_JOINS]
+        self._filter_skips += fs[_FS_FILTER_SKIPS]
+        self._filter_checks += fs[_FS_FILTER_CHECKS]
+        self._n_excl_fast += fs[_FS_EXCL_FAST]
+        self._n_snap_reuses += fs[_FS_SNAP_REUSES]
+        self._n_snap_copies += fs[_FS_SNAP_COPIES]
+        for i in range(_FS_SLOTS):
+            fs[i] = 0
+
+    def finish(self) -> RaceReport:
+        self._drain_fused()
+        return super().finish()
+
+    def _shared_slow(self, e: Event, is_write: bool) -> None:
+        raise NotImplementedError  # pragma: no cover - subclasses override
+
+    def analyze(self, trace: Trace) -> RaceReport:
+        """Run the detector over ``trace`` (specialised driving loop).
+
+        With the fused compiled access kernel installed, accesses go
+        straight to it with every per-event lookup hoisted into locals:
+        once the access body itself is native, the generic ``handle``
+        indirection (a bound-method call plus two attribute loads per
+        event) is the largest remaining Python cost. Each event takes
+        exactly the branch ``handle`` would, so streaming callers that
+        drive ``begin_trace``/``handle``/``finish`` by hand see
+        identical behaviour.
+        """
+        with obs.span(f"analysis.{self.metric_label()}") as sp:
+            self.begin_trace(trace)
+            fused = self._c_access
+            if fused is None:
+                for event in trace:
+                    self.handle(event)
+            else:
+                codes = self._codes
+                ctx = self._ctx
+                handle = self.handle
+                shared_slow = self._shared_slow
+                for event in trace:
+                    code = codes[event.eid]
+                    if code <= _WRITE:
+                        if fused(ctx, event.eid, code == _WRITE, event):
+                            shared_slow(event, code == _WRITE)
+                    else:
+                        handle(event)
+            report = self.finish()
+            sp.annotate("events", len(trace))
+            sp.annotate("races", len(report.races))
+        return report
+
+    def _bind_fused(self, fused: Optional[Callable[..., int]],
+                    clock_a: List[Any], clock_b: List[Any],
+                    pending_fork: Dict[int, Any],
+                    cs_writes: Dict[int, "_DenseSourceClocks"],
+                    cs_reads: Dict[int, "_DenseSourceClocks"]) -> None:
+        """Install the fused compiled access kernel for this trace.
+
+        No-op (handle() keeps routing through the open-coded
+        ``_on_access``) under the python backend, or when preprocessing
+        produced non-list local-time storage the C kernel cannot index.
+        The context tuple captures every container the kernel touches;
+        all of them are mutated in place for the rest of the trace, so
+        the snapshot stays live.
+        """
+        if fused is None or type(self._lt) is not list:
+            self._c_access = None
+            self._ctx = ()
+            return
+        self._ctx = (self._fs, self._tix, self._lt, self._tgt, self._held,
+                     clock_a, clock_b, pending_fork, self._snap_ok,
+                     self._snaps, self._cand, self._vars,
+                     self._pending_vars, cs_writes, cs_reads,
+                     self._nv, self._T,
+                     bool(self.force_order and self.transitive_force),
+                     _VarState)
+        self._c_access = fused
 
     # ------------------------------------------------------------------
     # Observability
@@ -415,6 +477,7 @@ class _EpochDetectorBase(Detector):
         the metrics registry under ``analysis.<label>.*``). These live
         outside the report counters so reports stay bit-identical to
         the reference detectors'."""
+        self._drain_fused()
         return {
             "epoch_exclusive_hits": self._n_excl_fast,
             "epoch_write_gate_hits": self._n_w_gate,
@@ -428,6 +491,7 @@ class _EpochDetectorBase(Detector):
         }
 
     def _publish(self, reg: obs.AnyRegistry) -> None:
+        self._drain_fused()  # super()._publish reads _n_joins
         super()._publish(reg)
         label = self.metric_label()
         for name, value in self.fast_stats().items():
@@ -502,36 +566,18 @@ class _EpochDetectorBase(Detector):
         assert writes is not None and reads is not None
         use_gates = (self._use_gates and self.force_order
                      and self.transitive_force)
-        racing: Optional[List[Tuple[int, Tuple[int, Event, Optional[List[int]]]]]] = None
-        we_t = st.we_time
-        if use_gates and (we_t == 0 or values[st.we_ti] >= we_t):
-            # Write-epoch gate: the last write is covered, hence (by the
-            # transitive-force propagation invariant) so is every prior
-            # write — and every read up to that write.
+        # One fused kernel call covers the write-epoch gate (the last
+        # write being covered implies — by the transitive-force
+        # propagation invariant — every prior write and every read up to
+        # it is too), the chained-read-epoch gate, and the exact
+        # writes-then-reads table scans when a gate does not apply.
+        racing, w_gate, r_gate = _k.gated_scan(
+            writes, reads if is_write else None, ti, values, use_gates,
+            st.we_time, st.we_ti, st.rg_time, st.rg_ti, st.rg_shared)
+        if w_gate:
             self._n_w_gate += 1
-            w_gate = True
-        else:
-            w_gate = False
-            for u, wrec in writes.items():
-                if u != ti and wrec[0] > values[u]:
-                    if racing is None:
-                        racing = [(u, wrec)]
-                    else:
-                        racing.append((u, wrec))
-        if is_write:
-            if (w_gate and not st.rg_shared
-                    and (st.rg_time == 0 or values[st.rg_ti] >= st.rg_time)):
-                # Read gate: the chained read epoch since the last write
-                # is covered (older reads are covered via the write
-                # gate, which must also have passed).
-                self._n_r_gate += 1
-            else:
-                for u, rrec in reads.items():
-                    if u != ti and rrec[0] > values[u]:
-                        if racing is None:
-                            racing = [(u, rrec)]
-                        else:
-                            racing.append((u, rrec))
+        if r_gate:
+            self._n_r_gate += 1
         if racing is not None:
             self.racing_at[e.eid] = frozenset(rec[1].eid for _, rec in racing)
             shortest = max((rec[1] for _, rec in racing), key=_by_eid)
@@ -545,7 +591,7 @@ class _EpochDetectorBase(Detector):
                     if values[u] < prior_t:
                         values[u] = prior_t
                         if transitive and rec[2] is not None:
-                            join_into_list(values, rec[2])
+                            _k.join_into_list(values, rec[2])
                             self._n_joins += 1
                         self._snap_ok[ti] = False
                         self._forced_order_dense(rec[1], e, rec[2])
@@ -554,18 +600,14 @@ class _EpochDetectorBase(Detector):
         # the force loop above consumes `racing` in table order, so table
         # order must be a pure function of the access sequence.
         if is_write:
-            if ti in writes:
-                del writes[ti]
-            writes[ti] = (t, e, snap2)
+            _k.record_latest(writes, ti, (t, e, snap2))
             if self._use_gates:
                 st.we_time = t
                 st.we_ti = ti
                 st.rg_time = 0
                 st.rg_shared = False
         else:
-            if ti in reads:
-                del reads[ti]
-            reads[ti] = (t, e, snap2)
+            _k.record_latest(reads, ti, (t, e, snap2))
             if self._use_gates and not st.rg_shared:
                 rg_t = st.rg_time
                 if rg_t == 0 or values[st.rg_ti] >= rg_t:
@@ -646,6 +688,9 @@ class EpochWCPDetector(_EpochDetectorBase):
         self._vol_writes = [None] * n_vols
         self._vol_reads = [None] * n_vols
         self._pending_fork = {}
+        self._bind_fused(_k.access_wcp, self._h, self._p,
+                         self._pending_fork, self._cs_writes,
+                         self._cs_reads)
 
     def _clock_values_of(self, tid: Tid) -> Optional[List[int]]:
         assert self._ix is not None
@@ -668,8 +713,8 @@ class EpochWCPDetector(_EpochDetectorBase):
         if self._pending_fork:
             parent = self._pending_fork.pop(ti, None)
             if parent is not None:
-                join_into_list(h, parent)
-                if join_into_list_changed(p, parent):
+                _k.join_into_list(h, parent)
+                if _k.join_into_list_changed(p, parent):
                     self._snap_ok[ti] = False
                 self._n_joins += 2
         return h, p
@@ -680,7 +725,11 @@ class EpochWCPDetector(_EpochDetectorBase):
     def handle(self, event: Event) -> None:
         code = self._codes[event.eid]
         if code <= _WRITE:
-            self._on_access(event, code == _WRITE)
+            fused = self._c_access
+            if fused is None:
+                self._on_access(event, code == _WRITE)
+            elif fused(self._ctx, event.eid, code == _WRITE, event):
+                self._shared_slow(event, code == _WRITE)
         elif code == _ACQ:
             self.on_acquire(event)
         elif code == _REL:
@@ -700,6 +749,16 @@ class EpochWCPDetector(_EpochDetectorBase):
     # ------------------------------------------------------------------
     # Accesses
     # ------------------------------------------------------------------
+    def _shared_slow(self, e: Event, is_write: bool) -> None:
+        # The fused kernel already advanced the clocks, staged rule (a),
+        # and passed the prefilter; only the SHARED-stage check remains.
+        eid = e.eid
+        ti = self._tix[eid]
+        p = self._p[ti]
+        st = self._vars[self._tgt[eid]]
+        assert p is not None and st is not None
+        self._check_shared(e, ti, self._lt[eid], p, is_write, st)
+
     def _on_access(self, e: Event, is_write: bool) -> None:
         eid = e.eid
         ti = self._tix[eid]
@@ -715,8 +774,8 @@ class EpochWCPDetector(_EpochDetectorBase):
         if self._pending_fork:
             parent = self._pending_fork.pop(ti, None)
             if parent is not None:
-                join_into_list(h, parent)
-                if join_into_list_changed(p, parent):
+                _k.join_into_list(h, parent)
+                if _k.join_into_list_changed(p, parent):
                     self._snap_ok[ti] = False
                 self._n_joins += 2
         vi = self._tgt[eid]
@@ -731,11 +790,13 @@ class EpochWCPDetector(_EpochDetectorBase):
             for li in held:
                 key = li * nv + vi
                 src = cs_writes.get(key)
-                if src is not None and src.join_into(p, ti) is not None:
+                if src is not None and _k.source_join_into(
+                        src.entries, p, ti) is not None:
                     snap_ok[ti] = False
                 if is_write:
                     src = self._cs_reads.get(key)
-                    if src is not None and src.join_into(p, ti) is not None:
+                    if src is not None and _k.source_join_into(
+                            src.entries, p, ti) is not None:
                         snap_ok[ti] = False
                 cur = pend.get(li)
                 if cur is None:
@@ -794,7 +855,7 @@ class EpochWCPDetector(_EpochDetectorBase):
         if h[u] < prior_t:
             h[u] = prior_t
         if self.transitive_force and snapshot is not None:
-            join_into_list(h, snapshot)
+            _k.join_into_list(h, snapshot)
             self._n_joins += 1
 
     # ------------------------------------------------------------------
@@ -808,10 +869,10 @@ class EpochWCPDetector(_EpochDetectorBase):
         li = self._tgt[eid]
         lock_h = self._lock_h[li]
         if lock_h is not None:
-            join_into_list(h, lock_h)
+            _k.join_into_list(h, lock_h)
             lock_p = self._lock_p[li]
             assert lock_p is not None
-            if join_into_list_changed(p, lock_p):  # right HB composition
+            if _k.join_into_list_changed(p, lock_p):  # right HB composition
                 self._snap_ok[ti] = False
             self._n_joins += 2
         queues = self._queues[li]
@@ -867,14 +928,14 @@ class EpochWCPDetector(_EpochDetectorBase):
         if parent is not None:
             # Child never executed an event: the fork ordering still
             # flows through the (empty) child into the join.
-            join_into_list(h, parent)
-            if join_into_list_changed(p, parent):
+            _k.join_into_list(h, parent)
+            if _k.join_into_list_changed(p, parent):
                 self._snap_ok[ti] = False
             self._n_joins += 2
         child_h = self._h[ci]
         if child_h is not None:
-            join_into_list(h, child_h)
-            if join_into_list_changed(p, child_h):
+            _k.join_into_list(h, child_h)
+            if _k.join_into_list_changed(p, child_h):
                 self._snap_ok[ti] = False
             self._n_joins += 2
 
@@ -950,7 +1011,13 @@ class EpochDCDetector(_EpochDetectorBase):
     def begin_trace(self, trace: Trace) -> None:
         super().begin_trace(trace)
         assert self._ix is not None
-        self.graph = ConstraintGraph(len(trace))
+        # With graph building off the adjacency lists would never be
+        # touched; allocating 2*len(trace) sets is pure per-trace
+        # overhead on the no-graph hot path.  Consumers that need the
+        # graph (vindication, serve finish) always run with
+        # build_graph=True; the empty graph still grows on demand.
+        self.graph = (ConstraintGraph(len(trace)) if self.build_graph
+                      else ConstraintGraph())
         self._n_graph_edges = 0
         self._values = [None] * self._T
         n_locks = len(self._ix.lock_names)
@@ -962,6 +1029,12 @@ class EpochDCDetector(_EpochDetectorBase):
         self._vol_reads = [None] * n_vols
         self._pending_fork = {}
         self._last_event = [-1] * self._T
+        # Graph edges stay on the Python path: the fused kernel is only
+        # installed when the constraint graph is off.
+        self._bind_fused(
+            None if self.build_graph else _k.access_dc,
+            self._values, self._last_event, self._pending_fork,
+            self._cs_writes, self._cs_reads)
 
     def finish(self) -> RaceReport:
         assert self.report is not None, "begin_trace was never called"
@@ -993,7 +1066,7 @@ class EpochDCDetector(_EpochDetectorBase):
             pending = self._pending_fork.pop(ti, None)
             if pending is not None:
                 fork_eid, parent = pending
-                if join_into_list_changed(values, parent):
+                if _k.join_into_list_changed(values, parent):
                     self._snap_ok[ti] = False
                 self._n_joins += 1
                 self._add_edge(fork_eid, eid)
@@ -1018,7 +1091,11 @@ class EpochDCDetector(_EpochDetectorBase):
     def handle(self, event: Event) -> None:
         code = self._codes[event.eid]
         if code <= _WRITE:
-            self._on_access(event, code == _WRITE)
+            fused = self._c_access
+            if fused is None:
+                self._on_access(event, code == _WRITE)
+            elif fused(self._ctx, event.eid, code == _WRITE, event):
+                self._shared_slow(event, code == _WRITE)
         elif code == _ACQ:
             self.on_acquire(event)
         elif code == _REL:
@@ -1038,6 +1115,16 @@ class EpochDCDetector(_EpochDetectorBase):
     # ------------------------------------------------------------------
     # Accesses
     # ------------------------------------------------------------------
+    def _shared_slow(self, e: Event, is_write: bool) -> None:
+        # The fused kernel already advanced the clock, staged rule (a),
+        # and passed the prefilter; only the SHARED-stage check remains.
+        eid = e.eid
+        ti = self._tix[eid]
+        values = self._values[ti]
+        st = self._vars[self._tgt[eid]]
+        assert values is not None and st is not None
+        self._check_shared(e, ti, self._lt[eid], values, is_write, st)
+
     def _on_access(self, e: Event, is_write: bool) -> None:
         eid = e.eid
         ti = self._tix[eid]
@@ -1055,7 +1142,7 @@ class EpochDCDetector(_EpochDetectorBase):
             pending = self._pending_fork.pop(ti, None)
             if pending is not None:
                 fork_eid, parent = pending
-                if join_into_list_changed(values, parent):
+                if _k.join_into_list_changed(values, parent):
                     self._snap_ok[ti] = False
                 self._n_joins += 1
                 self._add_edge(fork_eid, eid)
@@ -1070,7 +1157,7 @@ class EpochDCDetector(_EpochDetectorBase):
                 key = li * nv + vi
                 src = cs_writes.get(key)
                 if src is not None:
-                    sources = src.join_into(values, ti)
+                    sources = _k.source_join_into(src.entries, values, ti)
                     if sources is not None:
                         self._snap_ok[ti] = False
                         for s in sources:
@@ -1078,7 +1165,7 @@ class EpochDCDetector(_EpochDetectorBase):
                 if is_write:
                     src = self._cs_reads.get(key)
                     if src is not None:
-                        sources = src.join_into(values, ti)
+                        sources = _k.source_join_into(src.entries, values, ti)
                         if sources is not None:
                             self._snap_ok[ti] = False
                             for s in sources:
@@ -1217,13 +1304,13 @@ class EpochDCDetector(_EpochDetectorBase):
             # The child never executed an event: the fork ordering still
             # flows through the (empty) child into the join.
             fork_eid, parent = pending
-            if join_into_list_changed(values, parent):
+            if _k.join_into_list_changed(values, parent):
                 self._snap_ok[ti] = False
             self._n_joins += 1
             self._add_edge(fork_eid, eid)
         child_values = self._values[ci]
         if child_values is not None:
-            if join_into_list_changed(values, child_values):
+            if _k.join_into_list_changed(values, child_values):
                 self._snap_ok[ti] = False
             self._n_joins += 1
             child_last = self._last_event[ci]

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, TypeVar
 
+from repro.core import kernels as _k
 from repro.core.events import Tid
 from repro.core.vectorclock import VectorClock
 
@@ -57,9 +58,7 @@ class SourceClocks:
         re-recording it later would land it in a different position than
         an uninterrupted run, and the DC edge list would diverge.
         """
-        if tid in self._entries:
-            del self._entries[tid]
-        self._entries[tid] = (eid, local_time, clock)
+        _k.record_latest(self._entries, tid, (eid, local_time, clock))
 
     def join_into(self, target: VectorClock, skip_tid: Tid) -> List[int]:
         """Join every other thread's snapshot into ``target``; return the
@@ -70,15 +69,7 @@ class SourceClocks:
         before the target (its own clock component is covered), which is
         the paper's vector-clock-based edge minimisation.
         """
-        new_sources: List[int] = []
-        for tid, (eid, local_time, clock) in self._entries.items():
-            if tid == skip_tid:
-                continue
-            if target.get(tid) >= local_time:
-                continue
-            target.join(clock)
-            new_sources.append(eid)
-        return new_sources
+        return _k.source_join_into_sparse(self._entries, target, skip_tid)
 
     def __bool__(self) -> bool:
         return bool(self._entries)
@@ -149,36 +140,16 @@ class LockQueues:
         acquire is ordered before this release, joining their release
         clocks. Iterates to a fixpoint since joins can order more
         acquires. Returns eids of releases newly ordered (graph edges).
+
+        The observer's own records are included: rule (b) has no thread
+        restriction, and for WCP a same-thread conclusion r1 ≺ r2 feeds
+        left-HB-composition joins that program order alone does not
+        imply. (For DC, own records join no new information — the
+        thread's clock already dominates its own past — so they are
+        consumed silently.)
         """
-        new_sources: List[int] = []
         my_cursors = self.cursors.setdefault(observer, {})
-        changed = True
-        while changed:
-            changed = False
-            # The observer's own records are included: rule (b) has no
-            # thread restriction, and for WCP a same-thread conclusion
-            # r1 ≺ r2 feeds left-HB-composition joins that program order
-            # alone does not imply. (For DC, own records join no new
-            # information — the thread's clock already dominates its own
-            # past — so they are consumed silently.)
-            for tid, recs in self.records.items():
-                i = my_cursors.get(tid, 0)
-                while i < len(recs):
-                    rec = recs[i]
-                    if not rec.closed:
-                        # The source thread's critical section is still
-                        # open; it cannot be ordered before this release.
-                        break
-                    if clock.get(tid) < rec.acq_local_time:
-                        break  # FIFO heads are monotone per thread.
-                    if clock.get(tid) < rec.rel_local_time:
-                        assert rec.rel_clock is not None
-                        clock.join(rec.rel_clock)
-                        new_sources.append(rec.rel_eid)
-                        changed = True
-                    i += 1
-                my_cursors[tid] = i
-        return new_sources
+        return _k.rule_b_fixpoint_sparse(self.records, my_cursors, clock)
 
     def gc_retire(self, floors: "GCFloors",
                   own_clock: Callable[[Tid], Optional[VectorClock]]) -> int:

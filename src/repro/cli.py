@@ -66,6 +66,7 @@ from typing import List, Optional
 
 from repro import obs
 from repro.analysis.races import RaceClass
+from repro.core import kernels
 from repro.core.exceptions import SanitizerError
 from repro.static.lint import Severity, lint_document, lint_events
 from repro.stats.distances import static_distance_ranges
@@ -386,6 +387,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "PATH (.jsonl streams span records, .json "
                              "writes a snapshot, .prom/.txt Prometheus "
                              "text)")
+    parser.add_argument("--kernels", choices=("auto", "python", "compiled"),
+                        default=None,
+                        help="clock-kernel backend: 'compiled' requires the "
+                             "repro.core._kernels extension (fails loudly if "
+                             "absent), 'python' forces the pure-Python "
+                             "reference kernels, 'auto' prefers compiled "
+                             "(default: $VINDICATOR_KERNELS or auto); "
+                             "verdicts are bit-identical either way")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_static_flags(cmd: argparse.ArgumentParser) -> None:
@@ -542,6 +551,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.kernels is not None:
+        try:
+            kernels.set_backend(args.kernels)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.func is _cmd_profile:
         # profile manages its own observability session (always enabled,
         # --metrics only picks the export path).

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core import kernels as _k
 from repro.core.events import Tid
 from repro.core.vectorclock import VectorClock
 
@@ -70,34 +71,28 @@ class TidTable:
 # ----------------------------------------------------------------------
 # Fused kernels over raw component lists
 # ----------------------------------------------------------------------
+# The implementations live in :mod:`repro.core.kernels` (pure Python or
+# the compiled ``repro.core._kernels`` extension, chosen at import time
+# or via ``--kernels``).  These wrappers keep the historical public
+# names; hot loops call through the ``kernels`` module attribute
+# directly so a later ``set_backend()`` still takes effect.
 def join_into_list(dst: List[int], src: Sequence[int]) -> None:
     """In-place pointwise max: ``dst[i] = max(dst[i], src[i])``.
 
     Requires ``len(src) <= len(dst)`` (clocks sharing one table and
     allocated at full table size always satisfy this).
     """
-    for i, value in enumerate(src):
-        if value > dst[i]:
-            dst[i] = value
+    _k.join_into_list(dst, src)
 
 
 def join_into_list_changed(dst: List[int], src: Sequence[int]) -> bool:
     """:func:`join_into_list` that also reports whether ``dst`` grew."""
-    changed = False
-    for i, value in enumerate(src):
-        if value > dst[i]:
-            dst[i] = value
-            changed = True
-    return changed
+    return _k.join_into_list_changed(dst, src)
 
 
 def dominates_list(big: Sequence[int], small: Sequence[int]) -> bool:
     """Pointwise ``small <= big`` (missing trailing components are 0)."""
-    nb = len(big)
-    for i, value in enumerate(small):
-        if value and (i >= nb or value > big[i]):
-            return False
-    return True
+    return _k.dominates_list(big, small)
 
 
 class DenseVectorClock:
@@ -138,11 +133,8 @@ class DenseVectorClock:
 
     def _slot(self, tid: Tid) -> int:
         """Intern ``tid`` and grow storage to cover its index."""
-        idx = self.table.intern(tid)
-        values = self._values
-        if idx >= len(values):
-            values.extend([0] * (len(self.table) - len(values)))
-        return idx
+        table = self.table
+        return _k.slot_intern(table.index, table.tids, self._values, tid)
 
     def set(self, tid: Tid, time: int) -> None:
         self.version += 1
@@ -169,7 +161,7 @@ class DenseVectorClock:
             src = other._values
             if len(src) > len(values):
                 values.extend([0] * (len(src) - len(values)))
-            changed = join_into_list_changed(values, src)
+            changed = _k.join_into_list_changed(values, src)
         else:
             for tid, time in other:
                 idx = self._slot(tid)
@@ -182,7 +174,7 @@ class DenseVectorClock:
 
     def dominates(self, other: Union["DenseVectorClock", VectorClock]) -> bool:
         if isinstance(other, DenseVectorClock) and other.table is self.table:
-            return dominates_list(self._values, other._values)
+            return _k.dominates_list(self._values, other._values)
         return all(time <= self.get(tid) for tid, time in other)
 
     def copy(self) -> "DenseVectorClock":
@@ -203,8 +195,10 @@ class DenseVectorClock:
             return self.as_dict() == other.as_dict()
         return NotImplemented
 
-    def __hash__(self) -> int:  # pragma: no cover - clocks are mutable
-        raise TypeError("DenseVectorClock is mutable and unhashable")
+    # Mutable, so unhashable — same contract as VectorClock.  Setting
+    # __hash__ = None (rather than a raising method) makes
+    # ``isinstance(clock, collections.abc.Hashable)`` False too.
+    __hash__ = None  # type: ignore[assignment]
 
     def __iter__(self) -> Iterator[Tuple[Tid, int]]:
         tids = self.table.tids

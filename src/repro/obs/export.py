@@ -21,6 +21,7 @@ import json
 import sys
 from typing import Dict, IO, List, Mapping, Optional
 
+from repro.core import kernels
 from repro.obs.metrics import AnyRegistry, Value
 from repro.obs.schema import OBS_SNAPSHOT_SCHEMA_ID, OBS_STREAM_SCHEMA_ID
 from repro.obs.spans import AnyTracer, Span
@@ -42,6 +43,7 @@ def meta_record(command: str = "",
         "schema": OBS_STREAM_SCHEMA_ID,
         "command": command,
         "python": sys.version.split()[0],
+        "kernels": kernels.active_backend(),
     }
     if provenance:
         record["provenance"] = dict(provenance)

@@ -187,6 +187,7 @@ META_RECORD_SCHEMA: Dict[str, object] = {
         "schema": {"enum": [OBS_STREAM_SCHEMA_ID]},
         "command": {"type": "string"},
         "python": {"type": "string"},
+        "kernels": {"enum": ["python", "compiled"]},
         "provenance": _PROVENANCE,
     },
 }
@@ -296,7 +297,7 @@ _VINDICATION = {
 ANALYZE_SCHEMA: Dict[str, object] = {
     "type": "object",
     "required": ["schema", "trace", "analyses", "race_classes",
-                 "vindications"],
+                 "vindications", "kernels"],
     "properties": {
         "schema": {"enum": [ANALYZE_SCHEMA_ID]},
         "trace": {
@@ -338,6 +339,13 @@ ANALYZE_SCHEMA: Dict[str, object] = {
             "required": ["jobs"],
             "properties": {
                 "jobs": {"type": "integer"},
+            },
+        },
+        "kernels": {
+            "type": "object",
+            "required": ["backend"],
+            "properties": {
+                "backend": {"enum": ["python", "compiled"]},
             },
         },
     },
@@ -532,6 +540,7 @@ _SESSION_STATUS = {
         "trace_hash": {"type": "string"},
         "races": {"type": "object",
                   "additionalProperties": {"type": "integer"}},
+        "kernels": {"enum": ["python", "compiled"]},
     },
 }
 

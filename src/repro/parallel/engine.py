@@ -36,6 +36,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro import obs
 from repro.analysis.races import DynamicRace, RaceReport
+from repro.core import kernels
 from repro.core.events import Target
 from repro.core.trace import Trace
 from repro.traces.packed import PackedTrace, pack
@@ -109,7 +110,7 @@ def run_analysis(trace: Trace, *, jobs: int, transitive_force: bool,
             max_workers=min(3, jobs), mp_context=pool_context(),
             initializer=workers.init_analysis,
             initargs=(packed, transitive_force, prefilter, obs_on,
-                      variant)) as pool:
+                      variant, kernels.active_backend())) as pool:
         futures = [pool.submit(workers.run_detector, which)
                    for which in ("hb", "wcp", "dc")]
         payloads = [f.result() for f in futures]
@@ -140,7 +141,8 @@ def run_vindication(trace: Trace, analysis: AnalysisResult,
             max_workers=min(jobs, len(races)), mp_context=pool_context(),
             initializer=workers.init_vindication,
             initargs=(packed, analysis.graph_arrays, analysis.index_state,
-                      policy, check, use_window, obs_on)) as pool:
+                      policy, check, use_window, obs_on,
+                      kernels.active_backend())) as pool:
         futures = [pool.submit(workers.vindicate_chunk, races[start:stop])
                    for start, stop in partition(len(races), jobs)]
         payloads = [f.result() for f in futures]

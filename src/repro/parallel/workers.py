@@ -26,6 +26,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro import obs
 from repro.analysis.dc import DCDetector
+from repro.core import kernels
 from repro.analysis.hb import HBDetector
 from repro.analysis.races import DynamicRace
 from repro.analysis.smarttrack import EpochDCDetector, EpochWCPDetector
@@ -61,9 +62,14 @@ def _obs_payload(enabled: bool) -> Optional[Dict[str, object]]:
 # ----------------------------------------------------------------------
 def init_analysis(packed: PackedTrace, transitive_force: bool,
                   prefilter: Optional[FrozenSet[Target]],
-                  obs_on: bool, variant: str = "reference") -> None:
+                  obs_on: bool, variant: str = "reference",
+                  kernels_backend: str = "auto") -> None:
     """Pool initializer: unpack the trace once per worker process."""
     obs.disable()
+    # Under `spawn` the worker imports repro fresh and would re-resolve
+    # the env default; re-apply the parent's *resolved* backend so a
+    # pool never silently mixes kernel implementations.
+    kernels.set_backend(kernels_backend)
     _STATE.clear()
     _STATE["packed"] = packed
     _STATE["trace"] = packed.unpack()
@@ -140,10 +146,11 @@ def init_vindication(packed: PackedTrace,
                      graph_arrays: Tuple[Any, Any],
                      index_state: Optional[Dict[str, Dict[int, int]]],
                      policy: str, check: bool, use_window: bool,
-                     obs_on: bool) -> None:
+                     obs_on: bool, kernels_backend: str = "auto") -> None:
     """Pool initializer: unpack the trace, rebuild the DC graph from its
     CSR arrays, and warm a shared reachability index — once per worker."""
     obs.disable()
+    kernels.set_backend(kernels_backend)
     _STATE.clear()
     graph = ConstraintGraph.from_arrays(*graph_arrays)
     index = ReachabilityIndex(graph)

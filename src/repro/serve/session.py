@@ -22,6 +22,7 @@ from repro.analysis.dc import DCDetector
 from repro.analysis.hb import HBDetector
 from repro.analysis.races import RaceReport, classify
 from repro.analysis.wcp import WCPDetector
+from repro.core import kernels
 from repro.core.events import Event
 from repro.core.trace import Trace
 from repro.serve import gc as serve_gc
@@ -199,6 +200,7 @@ class SessionAnalyzer:
             "gc_runs": self.gc_runs,
             "gc_retired": self.gc_retired,
             "trace_hash": self.hasher.hexdigest(),
+            "kernels": kernels.active_backend(),
             "races": {
                 "hb": len(self._races_of(self.hb)),
                 "wcp": len(self._races_of(self.wcp)),

@@ -24,6 +24,7 @@ import threading
 from multiprocessing.connection import Connection
 from typing import Any, Dict, List, Optional
 
+from repro.core import kernels
 from repro.obs.schema import validate_serve_request, SchemaError
 from repro.parallel.engine import pool_context
 from repro.serve.checkpoint import (CheckpointError, resume_session,
@@ -173,12 +174,17 @@ class InlineShard:
         pass
 
 
-def _shard_main(conn: "Connection", index: int) -> None:
+def _shard_main(conn: "Connection", index: int,
+                kernels_backend: str = "auto") -> None:
     """Forked worker loop: one request in, one response out, until the
     exit sentinel. Signals are the parent's job — the worker must keep
     serving drain requests while the parent handles SIGTERM."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    # Re-apply the daemon's resolved clock-kernel backend: under `spawn`
+    # the worker would otherwise re-resolve the env default, and a fleet
+    # must never silently mix kernel implementations.
+    kernels.set_backend(kernels_backend)
     state = ShardState(checkpoint_dir=os.environ.get("TMPDIR", "/tmp"))
     while True:
         try:
@@ -211,7 +217,8 @@ class ProcessShard:
         self._conn: "Connection" = parent_conn
         self._lock = threading.Lock()
         self._proc = ctx.Process(target=_shard_main,
-                                 args=(child_conn, index),
+                                 args=(child_conn, index,
+                                       kernels.active_backend()),
                                  name=f"vindicator-shard-{index}",
                                  daemon=True)
         self._proc.start()

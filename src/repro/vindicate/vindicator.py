@@ -24,6 +24,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro import obs
+from repro.core import kernels
 from repro.core.events import Event
 from repro.core.exceptions import SanitizerError
 from repro.core.trace import Trace
@@ -210,6 +211,11 @@ class VindicatorReport:
     #: This is the one intentional document difference between serial
     #: and parallel runs of the same trace.
     jobs: int = 1
+    #: Which clock-kernel backend produced this report ("python" or
+    #: "compiled"); captured at construction so documents are traceable
+    #: to the implementation that computed them (the backends are
+    #: bit-identical, so this is provenance, not a verdict input).
+    kernels_backend: str = field(default_factory=kernels.active_backend)
 
     @property
     def dc_only_races(self) -> List[DynamicRace]:
@@ -272,6 +278,7 @@ class VindicatorReport:
             },
             "metrics": self.obs,
             "parallel": {"jobs": self.jobs},
+            "kernels": {"backend": self.kernels_backend},
         }
 
 
