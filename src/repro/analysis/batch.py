@@ -52,6 +52,7 @@ and a ``run_events`` histogram of events per batched run.
 from __future__ import annotations
 
 import weakref
+from bisect import bisect_left
 from typing import (Any, Collection, Dict, FrozenSet, List, Optional,
                     Tuple)
 
@@ -498,7 +499,7 @@ class BatchDCDetector(_BatchMixin, EpochDCDetector):
     def __init__(self, build_graph: bool = True,
                  prefilter: Optional[Collection[Target]] = None):
         EpochDCDetector.__init__(self, build_graph, prefilter)
-        self._po_src: List[int] = []
+        self._po_flat: List[int] = []
         self._po_dst: List[int] = []
         self._po_i = 0
 
@@ -513,14 +514,17 @@ class BatchDCDetector(_BatchMixin, EpochDCDetector):
 
     def _po_setup(self, plan: _BatchPlan, batched: "Any") -> None:
         if not self.build_graph:
-            self._po_src = []
+            self._po_flat = []
             self._po_dst = []
             self._po_i = 0
             self._needs_po_flush = False
             return
         dst = np.flatnonzero(batched & (plan.prev >= 0))
         self._po_dst = dst.tolist()
-        self._po_src = plan.prev[dst].tolist()
+        # Pre-flattened [src0, dst0, src1, dst1, ...] so a flush is one
+        # bisect plus one bulk list.extend into the edge buffer.
+        self._po_flat = np.ravel(
+            np.column_stack((plan.prev[dst], dst))).tolist()
         self._po_i = 0
         self._needs_po_flush = True
 
@@ -529,12 +533,13 @@ class BatchDCDetector(_BatchMixin, EpochDCDetector):
         dst = self._po_dst
         if i >= len(dst):
             return
-        src = self._po_src
-        add_edge = self.graph.add_edge
-        while i < len(dst) and dst[i] < pos:
-            add_edge(src[i], dst[i])
-            i += 1
-        self._po_i = i
+        cut = bisect_left(dst, pos, i)
+        if cut > i:
+            # Batched PO edges route through the same edge buffer as the
+            # per-event paths, keeping the global drain order identical
+            # to the reference's insertion order.
+            self._ebuf.extend(self._po_flat[2 * i:2 * cut])
+            self._po_i = cut
 
     def _fix_prev(self, eid: int, ti: int, prev_eid: int) -> None:
         # The inherited _advance reads _last_event[ti] for the PO edge;

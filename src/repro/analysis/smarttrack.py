@@ -80,6 +80,7 @@ from repro.core.exceptions import MalformedTraceError
 from repro.core.trace import Trace
 from repro.core import kernels as _k
 from repro.core.vectorclock_dense import DenseVectorClock, TidTable
+from repro.analysis.sync_structures import DenseLockQueues, DenseSourceClocks
 from repro.graph.constraint_graph import ConstraintGraph
 
 __all__ = ["EpochDCDetector", "EpochWCPDetector"]
@@ -96,7 +97,8 @@ _READ, _WRITE, _ACQ, _REL, _FORK, _JOIN, _VWR, _VRD, _OTHER = range(9)
 # the FS_* constants in _kernels.c.
 _FS_JOINS, _FS_FILTER_SKIPS, _FS_FILTER_CHECKS = 0, 1, 2
 _FS_EXCL_FAST, _FS_SNAP_REUSES, _FS_SNAP_COPIES = 3, 4, 5
-_FS_SLOTS = 6
+_FS_GRAPH_EDGES, _FS_RULE_B_SKIPS, _FS_LOCK_TRANSFERS = 6, 7, 8
+_FS_SLOTS = 9
 
 # Keyed by id() of the (immortal, module-level) enum member: enum's
 # __hash__ is a Python-level call, id() hashing is C-speed, and this map
@@ -240,77 +242,6 @@ class _VarState:
         self.rg_shared = False
 
 
-class _DenseSourceClocks:
-    """Dense analog of :class:`~repro.analysis.sync_structures.SourceClocks`:
-    latest ``(eid, local_time, snapshot list)`` per source tid index."""
-
-    __slots__ = ("entries",)
-
-    def __init__(self) -> None:
-        self.entries: Dict[int, Tuple[int, int, List[int]]] = {}
-
-    def record(self, ti: int, eid: int, t: int, snapshot: List[int]) -> None:
-        """(Re-)insert at the end: iteration order is most-recent-last,
-        matching :meth:`SourceClocks.record` (the reference), whose order
-        the edge-minimising :meth:`join_into` scan is sensitive to."""
-        _k.record_latest(self.entries, ti, (eid, t, snapshot))
-
-    def join_into(self, values: List[int], skip_ti: int) -> Optional[List[int]]:
-        """Join every other thread's snapshot whose source event is not
-        already covered (vector-clock edge minimisation). Returns the
-        newly ordered source eids, or None when nothing joined."""
-        return _k.source_join_into(self.entries, values, skip_ti)
-
-
-class _DenseLockQueues:
-    """Dense analog of :class:`~repro.analysis.sync_structures.LockQueues`
-    with a single-owner tag for the DC ownership fast path.
-
-    ``owner`` is -1 until the first acquire, then the acquiring tid
-    index while the lock stays thread-exclusive, then -2 forever after
-    a second thread acquires it.
-    """
-
-    __slots__ = ("records", "cursors", "open_ti", "open_rec", "owner")
-
-    def __init__(self) -> None:
-        # ti -> [[acq_time, rel_eid, rel_time, rel_snapshot|None], ...]
-        self.records: Dict[int, List[List[Any]]] = {}
-        self.cursors: Dict[int, Dict[int, int]] = {}
-        self.open_ti = -1
-        self.open_rec: Optional[List[Any]] = None
-        self.owner = -1
-
-    def on_acquire(self, ti: int, acq_time: int) -> None:
-        rec: List[Any] = [acq_time, -1, -1, None]
-        recs = self.records.get(ti)
-        if recs is None:
-            recs = self.records[ti] = []
-        recs.append(rec)
-        self.open_ti = ti
-        self.open_rec = rec
-
-    def on_release(self, rel_eid: int, rel_time: int,
-                   snapshot: List[int]) -> None:
-        rec = self.open_rec
-        assert rec is not None, "release without matching acquire"
-        rec[1] = rel_eid
-        rec[2] = rel_time
-        rec[3] = snapshot
-        self.open_ti = -1
-        self.open_rec = None
-
-    def apply_rule_b(self, observer: int,
-                     values: List[int]) -> Optional[List[int]]:
-        """Rule (b) fixpoint, exactly mirroring the reference: consume
-        closed critical sections whose acquire is covered, joining their
-        release snapshots. Returns newly ordered release eids or None."""
-        cursors = self.cursors.get(observer)
-        if cursors is None:
-            cursors = self.cursors[observer] = {}
-        return _k.rule_b_fixpoint(self.records, cursors, values)
-
-
 class _EpochDetectorBase(Detector):
     """Shared machinery of the epoch-optimised WCP/DC detectors: trace
     preprocessing, staged variable metadata, the gated race check, and
@@ -348,6 +279,14 @@ class _EpochDetectorBase(Detector):
         # open-coded _on_access, which defines the semantics.
         self._c_access: Optional[Callable[..., int]] = None
         self._ctx: Tuple[Any, ...] = ()
+        # The fused compiled sync-op kernels and their shared context;
+        # None routes on_acquire/on_release/on_fork/on_join through the
+        # open-coded bodies, which define the semantics.
+        self._c_acquire: Optional[Callable[..., Any]] = None
+        self._c_release: Optional[Callable[..., Any]] = None
+        self._c_fork: Optional[Callable[..., Any]] = None
+        self._c_join: Optional[Callable[..., Any]] = None
+        self._sctx: Tuple[Any, ...] = ()
         self._fs: List[int] = [0] * _FS_SLOTS
 
     def metric_label(self) -> str:
@@ -384,6 +323,11 @@ class _EpochDetectorBase(Detector):
         self._n_snap_reuses = 0
         self._c_access = None
         self._ctx = ()
+        self._c_acquire = None
+        self._c_release = None
+        self._c_fork = None
+        self._c_join = None
+        self._sctx = ()
         self._fs = [0] * _FS_SLOTS
 
     def _drain_fused(self) -> None:
@@ -397,6 +341,8 @@ class _EpochDetectorBase(Detector):
         self._n_excl_fast += fs[_FS_EXCL_FAST]
         self._n_snap_reuses += fs[_FS_SNAP_REUSES]
         self._n_snap_copies += fs[_FS_SNAP_COPIES]
+        self._n_rule_b_skips += fs[_FS_RULE_B_SKIPS]
+        self._n_lock_transfers += fs[_FS_LOCK_TRANSFERS]
         for i in range(_FS_SLOTS):
             fs[i] = 0
 
@@ -445,8 +391,9 @@ class _EpochDetectorBase(Detector):
     def _bind_fused(self, fused: Optional[Callable[..., int]],
                     clock_a: List[Any], clock_b: List[Any],
                     pending_fork: Dict[int, Any],
-                    cs_writes: Dict[int, "_DenseSourceClocks"],
-                    cs_reads: Dict[int, "_DenseSourceClocks"]) -> None:
+                    cs_writes: Dict[int, "DenseSourceClocks"],
+                    cs_reads: Dict[int, "DenseSourceClocks"],
+                    ebuf: Optional[List[int]] = None) -> None:
         """Install the fused compiled access kernel for this trace.
 
         No-op (handle() keeps routing through the open-coded
@@ -454,7 +401,8 @@ class _EpochDetectorBase(Detector):
         produced non-list local-time storage the C kernel cannot index.
         The context tuple captures every container the kernel touches;
         all of them are mutated in place for the rest of the trace, so
-        the snapshot stays live.
+        the snapshot stays live.  ``ebuf`` is the DC edge buffer the
+        kernel appends graph edges to (None for WCP and no-graph DC).
         """
         if fused is None or type(self._lt) is not list:
             self._c_access = None
@@ -466,8 +414,42 @@ class _EpochDetectorBase(Detector):
                      self._pending_vars, cs_writes, cs_reads,
                      self._nv, self._T,
                      bool(self.force_order and self.transitive_force),
-                     _VarState)
+                     _VarState, ebuf)
         self._c_access = fused
+
+    def _bind_sync(self, kernels: Tuple[Optional[Callable[..., Any]], ...],
+                   clock_a: List[Any], clock_b: List[Any],
+                   pending_fork: Dict[int, Any],
+                   queues: List[Optional["DenseLockQueues"]],
+                   cs_writes: Dict[int, "DenseSourceClocks"],
+                   cs_reads: Dict[int, "DenseSourceClocks"],
+                   ebuf: Optional[List[int]],
+                   lock_h: Optional[List[Any]],
+                   lock_p: Optional[List[Any]]) -> None:
+        """Install the fused compiled sync-op kernels for this trace.
+
+        ``kernels`` is the (acquire, release, fork, join) tuple from the
+        dispatch module — all None under the python backend or when sync
+        fusion is disabled, which keeps the open-coded handler bodies in
+        charge. The context mirrors ``_bind_fused``'s: one shared tuple
+        of live, mutated-in-place containers."""
+        acquire, release, fork, join = kernels
+        if acquire is None or type(self._lt) is not list:
+            self._c_acquire = None
+            self._c_release = None
+            self._c_fork = None
+            self._c_join = None
+            self._sctx = ()
+            return
+        self._sctx = (self._fs, self._tix, self._lt, self._tgt,
+                      clock_a, clock_b, pending_fork, self._snap_ok,
+                      queues, DenseLockQueues, self._pending_vars,
+                      cs_writes, cs_reads, DenseSourceClocks,
+                      self._nv, self._T, ebuf, lock_h, lock_p)
+        self._c_acquire = acquire
+        self._c_release = release
+        self._c_fork = fork
+        self._c_join = join
 
     # ------------------------------------------------------------------
     # Observability
@@ -666,11 +648,11 @@ class EpochWCPDetector(_EpochDetectorBase):
         self._p: List[Optional[List[int]]] = []
         self._lock_h: List[Optional[List[int]]] = []
         self._lock_p: List[Optional[List[int]]] = []
-        self._queues: List[Optional[_DenseLockQueues]] = []
-        self._cs_writes: Dict[int, _DenseSourceClocks] = {}
-        self._cs_reads: Dict[int, _DenseSourceClocks] = {}
-        self._vol_writes: List[Optional[_DenseSourceClocks]] = []
-        self._vol_reads: List[Optional[_DenseSourceClocks]] = []
+        self._queues: List[Optional[DenseLockQueues]] = []
+        self._cs_writes: Dict[int, DenseSourceClocks] = {}
+        self._cs_reads: Dict[int, DenseSourceClocks] = {}
+        self._vol_writes: List[Optional[DenseSourceClocks]] = []
+        self._vol_reads: List[Optional[DenseSourceClocks]] = []
         self._pending_fork: Dict[int, List[int]] = {}
 
     def begin_trace(self, trace: Trace) -> None:
@@ -691,6 +673,11 @@ class EpochWCPDetector(_EpochDetectorBase):
         self._bind_fused(_k.access_wcp, self._h, self._p,
                          self._pending_fork, self._cs_writes,
                          self._cs_reads)
+        self._bind_sync(
+            (_k.acquire_wcp, _k.release_wcp, _k.fork_wcp, _k.join_wcp),
+            self._h, self._p, self._pending_fork, self._queues,
+            self._cs_writes, self._cs_reads, None,
+            self._lock_h, self._lock_p)
 
     def _clock_values_of(self, tid: Tid) -> Optional[List[int]]:
         assert self._ix is not None
@@ -862,6 +849,10 @@ class EpochWCPDetector(_EpochDetectorBase):
     # Lock operations
     # ------------------------------------------------------------------
     def on_acquire(self, e: Event) -> None:
+        kernel = self._c_acquire
+        if kernel is not None:
+            kernel(self._sctx, e.eid)
+            return
         eid = e.eid
         ti = self._tix[eid]
         t = self._lt[eid]
@@ -877,10 +868,15 @@ class EpochWCPDetector(_EpochDetectorBase):
             self._n_joins += 2
         queues = self._queues[li]
         if queues is None:
-            queues = self._queues[li] = _DenseLockQueues()
+            queues = self._queues[li] = DenseLockQueues()
         queues.on_acquire(ti, t)
 
     def on_release(self, e: Event) -> None:
+        kernel = self._c_release
+        if kernel is not None:
+            if kernel(self._sctx, e.eid):
+                raise KeyError(e.target)
+            return
         eid = e.eid
         ti = self._tix[eid]
         t = self._lt[eid]
@@ -899,12 +895,12 @@ class EpochWCPDetector(_EpochDetectorBase):
             for vi in written_vars:
                 table = self._cs_writes.get(li * nv + vi)
                 if table is None:
-                    table = self._cs_writes[li * nv + vi] = _DenseSourceClocks()
+                    table = self._cs_writes[li * nv + vi] = DenseSourceClocks()
                 table.record(ti, eid, t, h_snapshot)
             for vi in read_vars:
                 table = self._cs_reads.get(li * nv + vi)
                 if table is None:
-                    table = self._cs_reads[li * nv + vi] = _DenseSourceClocks()
+                    table = self._cs_reads[li * nv + vi] = DenseSourceClocks()
                 table.record(ti, eid, t, h_snapshot)
         queues.on_release(eid, t, h_snapshot)
         self._lock_h[li] = h_snapshot
@@ -915,11 +911,19 @@ class EpochWCPDetector(_EpochDetectorBase):
     # by rule (c)'s left composition — see the reference detector)
     # ------------------------------------------------------------------
     def on_fork(self, e: Event) -> None:
+        kernel = self._c_fork
+        if kernel is not None:
+            kernel(self._sctx, e.eid)
+            return
         eid = e.eid
         h, _ = self._advance(self._tix[eid], self._lt[eid])
         self._pending_fork[self._tgt[eid]] = h.copy()
 
     def on_join(self, e: Event) -> None:
+        kernel = self._c_join
+        if kernel is not None:
+            kernel(self._sctx, e.eid)
+            return
         eid = e.eid
         ti = self._tix[eid]
         h, p = self._advance(ti, self._lt[eid])
@@ -947,10 +951,10 @@ class EpochWCPDetector(_EpochDetectorBase):
         xi = self._tgt[eid]
         writes = self._vol_writes[xi]
         if writes is None:
-            writes = self._vol_writes[xi] = _DenseSourceClocks()
+            writes = self._vol_writes[xi] = DenseSourceClocks()
         reads = self._vol_reads[xi]
         if reads is None:
-            reads = self._vol_reads[xi] = _DenseSourceClocks()
+            reads = self._vol_reads[xi] = DenseSourceClocks()
         for table in (writes, reads):
             table.join_into(h, ti)
             if table.join_into(p, ti) is not None:
@@ -970,7 +974,7 @@ class EpochWCPDetector(_EpochDetectorBase):
                 self._snap_ok[ti] = False
         reads = self._vol_reads[xi]
         if reads is None:
-            reads = self._vol_reads[xi] = _DenseSourceClocks()
+            reads = self._vol_reads[xi] = DenseSourceClocks()
         reads.record(ti, eid, t, h.copy())
 
 
@@ -999,14 +1003,22 @@ class EpochDCDetector(_EpochDetectorBase):
         self.build_graph = build_graph
         self.graph = ConstraintGraph()
         self._values: List[Optional[List[int]]] = []
-        self._queues: List[Optional[_DenseLockQueues]] = []
-        self._cs_writes: Dict[int, _DenseSourceClocks] = {}
-        self._cs_reads: Dict[int, _DenseSourceClocks] = {}
-        self._vol_writes: List[Optional[_DenseSourceClocks]] = []
-        self._vol_reads: List[Optional[_DenseSourceClocks]] = []
+        self._queues: List[Optional[DenseLockQueues]] = []
+        self._cs_writes: Dict[int, DenseSourceClocks] = {}
+        self._cs_reads: Dict[int, DenseSourceClocks] = {}
+        self._vol_writes: List[Optional[DenseSourceClocks]] = []
+        self._vol_reads: List[Optional[DenseSourceClocks]] = []
         self._pending_fork: Dict[int, Tuple[int, List[int]]] = {}
         self._last_event: List[int] = []
         self._n_graph_edges = 0
+        # Graph edges are staged in a flat [src0, dst0, src1, dst1, ...]
+        # buffer (shared with the compiled kernels, which append to the
+        # same list) and drained into the constraint graph at finish().
+        # Every reference edge is inserted while its destination event is
+        # being processed and events arrive in order, so the append order
+        # *is* the reference insertion order; nothing reads the graph
+        # mid-analysis (vindication and finalizers run post-finish).
+        self._ebuf: List[int] = []
 
     def begin_trace(self, trace: Trace) -> None:
         super().begin_trace(trace)
@@ -1029,15 +1041,28 @@ class EpochDCDetector(_EpochDetectorBase):
         self._vol_reads = [None] * n_vols
         self._pending_fork = {}
         self._last_event = [-1] * self._T
-        # Graph edges stay on the Python path: the fused kernel is only
-        # installed when the constraint graph is off.
+        self._ebuf = []
+        ebuf = self._ebuf if self.build_graph else None
         self._bind_fused(
-            None if self.build_graph else _k.access_dc,
+            _k.access_dc, self._values, self._last_event,
+            self._pending_fork, self._cs_writes, self._cs_reads, ebuf)
+        self._bind_sync(
+            (_k.acquire_dc, _k.release_dc, _k.fork_dc, _k.join_dc),
             self._values, self._last_event, self._pending_fork,
-            self._cs_writes, self._cs_reads)
+            self._queues, self._cs_writes, self._cs_reads, ebuf,
+            None, None)
+
+    def _drain_fused(self) -> None:
+        fs = self._fs
+        self._n_graph_edges += fs[_FS_GRAPH_EDGES]
+        fs[_FS_GRAPH_EDGES] = 0
+        super()._drain_fused()
 
     def finish(self) -> RaceReport:
         assert self.report is not None, "begin_trace was never called"
+        if self._ebuf:
+            _k.drain_edges(self._ebuf, self.graph.add_edge)
+        self._drain_fused()
         if self._n_graph_edges:
             counters = self.report.counters
             counters["graph_edges"] = (
@@ -1061,7 +1086,9 @@ class EpochDCDetector(_EpochDetectorBase):
         if self.build_graph:
             prev = self._last_event[ti]
             if prev >= 0:
-                self.graph.add_edge(prev, eid)
+                ebuf = self._ebuf
+                ebuf.append(prev)
+                ebuf.append(eid)
         if self._pending_fork:
             pending = self._pending_fork.pop(ti, None)
             if pending is not None:
@@ -1075,7 +1102,9 @@ class EpochDCDetector(_EpochDetectorBase):
 
     def _add_edge(self, src: int, dst: int) -> None:
         if self.build_graph:
-            self.graph.add_edge(src, dst)
+            ebuf = self._ebuf
+            ebuf.append(src)
+            ebuf.append(dst)
             self._n_graph_edges += 1
 
     def _forced_order_dense(self, prior: Event, e: Event,
@@ -1137,7 +1166,9 @@ class EpochDCDetector(_EpochDetectorBase):
         if self.build_graph:
             prev = self._last_event[ti]
             if prev >= 0:
-                self.graph.add_edge(prev, eid)
+                ebuf = self._ebuf
+                ebuf.append(prev)
+                ebuf.append(eid)
         if self._pending_fork:
             pending = self._pending_fork.pop(ti, None)
             if pending is not None:
@@ -1219,6 +1250,10 @@ class EpochDCDetector(_EpochDetectorBase):
     # Lock operations
     # ------------------------------------------------------------------
     def on_acquire(self, e: Event) -> None:
+        kernel = self._c_acquire
+        if kernel is not None:
+            kernel(self._sctx, e.eid)
+            return
         eid = e.eid
         ti = self._tix[eid]
         t = self._lt[eid]
@@ -1226,7 +1261,7 @@ class EpochDCDetector(_EpochDetectorBase):
         li = self._tgt[eid]
         queues = self._queues[li]
         if queues is None:
-            queues = self._queues[li] = _DenseLockQueues()
+            queues = self._queues[li] = DenseLockQueues()
         queues.on_acquire(ti, t)
         # No synchronisation-order join (DC departs from HB/WCP here);
         # track single-ownership for the rule (b) skip.
@@ -1240,6 +1275,18 @@ class EpochDCDetector(_EpochDetectorBase):
                 queues.owner = -2
 
     def on_release(self, e: Event) -> None:
+        kernel = self._c_release
+        if kernel is not None:
+            if kernel(self._sctx, e.eid):
+                # Streaming traces bypass Trace's construction-time
+                # validation, so a release without a matching acquire
+                # must surface as a malformed-trace error.
+                raise MalformedTraceError(
+                    f"{e}: releases lock {e.target!r} with no matching "
+                    f"acquire by thread {e.tid!r}",
+                    event_index=e.eid,
+                )
+            return
         eid = e.eid
         ti = self._tix[eid]
         t = self._lt[eid]
@@ -1276,12 +1323,12 @@ class EpochDCDetector(_EpochDetectorBase):
             for vi in written_vars:
                 table = self._cs_writes.get(li * nv + vi)
                 if table is None:
-                    table = self._cs_writes[li * nv + vi] = _DenseSourceClocks()
+                    table = self._cs_writes[li * nv + vi] = DenseSourceClocks()
                 table.record(ti, eid, t, snapshot)
             for vi in read_vars:
                 table = self._cs_reads.get(li * nv + vi)
                 if table is None:
-                    table = self._cs_reads[li * nv + vi] = _DenseSourceClocks()
+                    table = self._cs_reads[li * nv + vi] = DenseSourceClocks()
                 table.record(ti, eid, t, snapshot)
         queues.on_release(eid, t, snapshot)
 
@@ -1289,12 +1336,20 @@ class EpochDCDetector(_EpochDetectorBase):
     # Fork / join / volatiles: direct DC ordering
     # ------------------------------------------------------------------
     def on_fork(self, e: Event) -> None:
+        kernel = self._c_fork
+        if kernel is not None:
+            kernel(self._sctx, e.eid)
+            return
         eid = e.eid
         ti = self._tix[eid]
         values = self._advance(eid, ti, self._lt[eid])
         self._pending_fork[self._tgt[eid]] = (eid, values.copy())
 
     def on_join(self, e: Event) -> None:
+        kernel = self._c_join
+        if kernel is not None:
+            kernel(self._sctx, e.eid)
+            return
         eid = e.eid
         ti = self._tix[eid]
         values = self._advance(eid, ti, self._lt[eid])
@@ -1325,10 +1380,10 @@ class EpochDCDetector(_EpochDetectorBase):
         xi = self._tgt[eid]
         writes = self._vol_writes[xi]
         if writes is None:
-            writes = self._vol_writes[xi] = _DenseSourceClocks()
+            writes = self._vol_writes[xi] = DenseSourceClocks()
         reads = self._vol_reads[xi]
         if reads is None:
-            reads = self._vol_reads[xi] = _DenseSourceClocks()
+            reads = self._vol_reads[xi] = DenseSourceClocks()
         for table in (writes, reads):
             sources = table.join_into(values, ti)
             if sources is not None:
@@ -1352,5 +1407,5 @@ class EpochDCDetector(_EpochDetectorBase):
                     self._add_edge(s, eid)
         reads = self._vol_reads[xi]
         if reads is None:
-            reads = self._vol_reads[xi] = _DenseSourceClocks()
+            reads = self._vol_reads[xi] = DenseSourceClocks()
         reads.record(ti, eid, t, values.copy())

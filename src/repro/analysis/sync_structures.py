@@ -208,6 +208,90 @@ class LockQueues:
         return retired
 
 
+class DenseSourceClocks:
+    """Dense analog of :class:`SourceClocks` used by the epoch
+    detectors: latest ``(eid, local_time, snapshot list)`` per source
+    *tid index* (int), over plain-list clocks.
+
+    The compiled sync-op kernels (``repro.core._kernels``) construct
+    instances through the class object carried in the detectors' sync
+    context and reach into ``entries`` by attribute name — keep the
+    slot layout in lockstep with the C side.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: Dict[int, Tuple[int, int, List[int]]] = {}
+
+    def record(self, ti: int, eid: int, t: int, snapshot: List[int]) -> None:
+        """(Re-)insert at the end: iteration order is most-recent-last,
+        matching :meth:`SourceClocks.record` (the reference), whose order
+        the edge-minimising :meth:`join_into` scan is sensitive to."""
+        _k.record_latest(self.entries, ti, (eid, t, snapshot))
+
+    def join_into(self, values: List[int], skip_ti: int) -> Optional[List[int]]:
+        """Join every other thread's snapshot whose source event is not
+        already covered (vector-clock edge minimisation). Returns the
+        newly ordered source eids, or None when nothing joined."""
+        return _k.source_join_into(self.entries, values, skip_ti)
+
+
+class DenseLockQueues:
+    """Dense analog of :class:`LockQueues` with a single-owner tag for
+    the DC ownership fast path.
+
+    ``owner`` is -1 until the first acquire, then the acquiring tid
+    index while the lock stays thread-exclusive, then -2 forever after
+    a second thread acquires it.
+
+    Like :class:`DenseSourceClocks`, instances are also built and
+    mutated attribute-by-attribute from the compiled sync-op kernels;
+    the record shape ``[acq_time, rel_eid, rel_time, rel_snapshot]``
+    and the ``records``/``cursors``/``open_ti``/``open_rec``/``owner``
+    names are part of that C contract.
+    """
+
+    __slots__ = ("records", "cursors", "open_ti", "open_rec", "owner")
+
+    def __init__(self) -> None:
+        # ti -> [[acq_time, rel_eid, rel_time, rel_snapshot|None], ...]
+        self.records: Dict[int, List[List[object]]] = {}
+        self.cursors: Dict[int, Dict[int, int]] = {}
+        self.open_ti = -1
+        self.open_rec: Optional[List[object]] = None
+        self.owner = -1
+
+    def on_acquire(self, ti: int, acq_time: int) -> None:
+        rec: List[object] = [acq_time, -1, -1, None]
+        recs = self.records.get(ti)
+        if recs is None:
+            recs = self.records[ti] = []
+        recs.append(rec)
+        self.open_ti = ti
+        self.open_rec = rec
+
+    def on_release(self, rel_eid: int, rel_time: int,
+                   snapshot: List[int]) -> None:
+        rec = self.open_rec
+        assert rec is not None, "release without matching acquire"
+        rec[1] = rel_eid
+        rec[2] = rel_time
+        rec[3] = snapshot
+        self.open_ti = -1
+        self.open_rec = None
+
+    def apply_rule_b(self, observer: int,
+                     values: List[int]) -> Optional[List[int]]:
+        """Rule (b) fixpoint, exactly mirroring the reference: consume
+        closed critical sections whose acquire is covered, joining their
+        release snapshots. Returns newly ordered release eids or None."""
+        cursors = self.cursors.get(observer)
+        if cursors is None:
+            cursors = self.cursors[observer] = {}
+        return _k.rule_b_fixpoint(self.records, cursors, values)
+
+
 def _retire_source_tables(tables: Dict[_K, SourceClocks],
                           floors: "GCFloors") -> int:
     """Retire covered entries from a dict of :class:`SourceClocks`,

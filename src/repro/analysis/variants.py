@@ -1,0 +1,139 @@
+"""Single resolution layer for detector variant × kernel backend.
+
+Historically the CLI enforced ``--fast-vc`` / ``--batch`` mutual
+exclusion with argparse and the kernel backend was a separate global
+knob, so every entry point (the serial :class:`Vindicator` pipeline,
+the parallel pool initializers, the serve shards) re-derived its own
+``(variant, backend)`` pair ad hoc. This module centralizes that:
+
+* :class:`VariantSpec` is the one resolved selection — a detector
+  *variant* (``"reference"``, ``"fast"``, or ``"batch"``) plus an
+  optional kernel-backend request (``"auto"``/``"python"``/
+  ``"compiled"``, or None for "leave the process setting alone").
+
+* :func:`resolve` collapses CLI-style flags into a spec. ``--batch``
+  and ``--fast-vc`` are no longer mutually exclusive: the batch
+  detectors *are* the epoch detectors plus the vectorized planner
+  (:class:`~repro.analysis.batch._BatchMixin` subclasses the
+  smarttrack detectors), so ``batch`` strictly subsumes ``fast`` and
+  giving both simply means batch. Composing either with
+  ``--kernels compiled`` routes the per-event remainder through the
+  fused C kernels — the composite fast path.
+
+* :func:`make_analysis_detector` / :func:`make_analysis_detectors`
+  are the one place that maps a variant to detector classes, shared
+  by the serial pipeline and the pool workers so they cannot drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
+
+from repro.core import kernels
+
+#: Recognized detector variants, in increasing order of speed.
+VARIANTS = ("reference", "fast", "batch")
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """A fully resolved detector-variant + kernel-backend selection.
+
+    ``kernels_backend`` of None means "do not touch the process-wide
+    backend" (whatever ``set_backend``/``VINDICATOR_KERNELS`` already
+    installed stays in effect); any other value is installed by
+    :meth:`apply` before analysis starts and travels with the spec
+    across process boundaries (pool workers, serve shards) so a
+    pipeline never silently mixes kernel implementations.
+    """
+
+    variant: str = "reference"
+    kernels_backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ValueError(
+                f"variant must be one of {', '.join(map(repr, VARIANTS))}"
+                f", got {self.variant!r}")
+        if self.kernels_backend is not None \
+                and self.kernels_backend not in kernels.BACKENDS:
+            raise ValueError(
+                f"kernels_backend must be one of "
+                f"{', '.join(map(repr, kernels.BACKENDS))} or None, "
+                f"got {self.kernels_backend!r}")
+
+    def apply(self) -> str:
+        """Install the requested kernel backend process-wide (a no-op
+        when the spec does not name one) and return the backend that is
+        actually active afterwards — the value to ship to workers."""
+        if self.kernels_backend is not None:
+            kernels.set_backend(self.kernels_backend)
+        return kernels.active_backend()
+
+    def resolved(self) -> "VariantSpec":
+        """A copy whose backend field is pinned to the *active* backend
+        (resolving ``"auto"``/None), suitable for handing to a worker
+        process that must reproduce this process's configuration."""
+        return VariantSpec(self.variant, kernels.active_backend())
+
+
+def coerce(value: Union[str, VariantSpec, None]) -> VariantSpec:
+    """Normalize a legacy variant string (or None) to a spec."""
+    if isinstance(value, VariantSpec):
+        return value
+    return VariantSpec(variant=value if value is not None else "reference")
+
+
+def resolve(*, fast_vc: bool = False, batch: bool = False,
+            variant: Optional[str] = None,
+            kernels_backend: Optional[str] = None) -> VariantSpec:
+    """Collapse CLI-style flags into one :class:`VariantSpec`.
+
+    Precedence: an explicit ``variant`` name wins; otherwise ``batch``
+    subsumes ``fast_vc`` (the batch detectors are the epoch detectors
+    plus the vectorized planner, so ``--batch --fast-vc`` is simply
+    batch, not an error).
+    """
+    if variant is None:
+        variant = "batch" if batch else ("fast" if fast_vc else "reference")
+    return VariantSpec(variant=variant, kernels_backend=kernels_backend)
+
+
+def make_analysis_detector(which: str, variant: Union[str, VariantSpec],
+                           prefilter: Any = None) -> Any:
+    """Construct the ``which`` ∈ {"hb", "wcp", "dc"} detector for a
+    variant. HB always runs the reference detector: FastTrack-style
+    epochs do not reproduce its ``racing_at`` sets (which drive race
+    classification) and HB is never the pipeline bottleneck. The DC
+    detector is always built with ``build_graph=True`` — the pipeline
+    needs the constraint graph for vindication."""
+    variant = coerce(variant).variant
+    if which == "hb":
+        from repro.analysis.hb import HBDetector
+        return HBDetector(prefilter=prefilter)
+    if which not in ("wcp", "dc"):
+        raise ValueError(f"unknown detector {which!r}")
+    if variant == "batch":
+        # Imported lazily: only the batch interpreter needs numpy.
+        from repro.analysis.batch import BatchDCDetector, BatchWCPDetector
+        return (BatchWCPDetector(prefilter=prefilter) if which == "wcp"
+                else BatchDCDetector(build_graph=True, prefilter=prefilter))
+    if variant == "fast":
+        from repro.analysis.smarttrack import (EpochDCDetector,
+                                               EpochWCPDetector)
+        return (EpochWCPDetector(prefilter=prefilter) if which == "wcp"
+                else EpochDCDetector(build_graph=True, prefilter=prefilter))
+    if which == "wcp":
+        from repro.analysis.wcp import WCPDetector
+        return WCPDetector(prefilter=prefilter)
+    from repro.analysis.dc import DCDetector
+    return DCDetector(build_graph=True, prefilter=prefilter)
+
+
+def make_analysis_detectors(variant: Union[str, VariantSpec],
+                            prefilter: Any = None) -> Tuple[Any, Any, Any]:
+    """The full ``(hb, wcp, dc)`` trio for one variant."""
+    return (make_analysis_detector("hb", variant, prefilter),
+            make_analysis_detector("wcp", variant, prefilter),
+            make_analysis_detector("dc", variant, prefilter))

@@ -66,6 +66,7 @@ from typing import List, Optional
 
 from repro import obs
 from repro.analysis.races import RaceClass
+from repro.analysis.variants import VariantSpec, resolve as resolve_variant
 from repro.core import kernels
 from repro.core.exceptions import SanitizerError
 from repro.static.lint import Severity, lint_document, lint_events
@@ -115,14 +116,15 @@ def _print_report(report: VindicatorReport, show_witness: bool) -> None:
             print(f"  {locs}: {rng}")
 
 
-def _variant(args: argparse.Namespace) -> str:
-    """The detector variant selected by ``--fast-vc`` / ``--batch``
-    (argparse enforces their mutual exclusion)."""
-    if getattr(args, "batch", False):
-        return "batch"
-    if getattr(args, "fast_vc", False):
-        return "fast"
-    return "reference"
+def _variant_spec(args: argparse.Namespace) -> VariantSpec:
+    """The resolved detector-variant × kernel-backend selection.
+
+    ``--fast-vc`` and ``--batch`` compose rather than conflict (batch
+    subsumes fast-vc), and the global ``--kernels`` choice rides along
+    in the spec so pool workers and shards inherit it resolved."""
+    return resolve_variant(fast_vc=getattr(args, "fast_vc", False),
+                           batch=getattr(args, "batch", False),
+                           kernels_backend=args.kernels)
 
 
 def _run_and_print(vindicator: Vindicator, trace, show_witness: bool,
@@ -147,7 +149,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                             prefilter=args.prefilter,
                             sanitize=args.sanitize,
                             jobs=args.jobs,
-                            variant=_variant(args))
+                            variant=_variant_spec(args))
     return _run_and_print(vindicator, trace, args.witness,
                           as_json=args.json)
 
@@ -234,7 +236,7 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
                                 prefilter=args.prefilter,
                                 sanitize=args.sanitize,
                                 jobs=args.jobs,
-                                variant=_variant(args))
+                                variant=_variant_spec(args))
         status = _run_and_print(vindicator, factory(), args.witness)
         if status:
             return status
@@ -260,7 +262,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                             prefilter=args.prefilter,
                             sanitize=args.sanitize,
                             jobs=args.jobs,
-                            variant=_variant(args))
+                            variant=_variant_spec(args))
     return _run_and_print(vindicator, trace, args.witness,
                           as_json=args.json)
 
@@ -310,9 +312,14 @@ def _print_profile_summary(session: obs.ObsSession) -> None:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     meta = {"command": f"profile {args.target}"}
+    spec = _variant_spec(args)
     with obs.session(metrics_path=args.metrics, meta=meta,
                      deep_memory=args.deep_mem) as session:
-        with obs.span(f"profile.{args.target}"):
+        with obs.span(f"profile.{args.target}") as root:
+            # Stamp the resolved backend (and variant) on the root span
+            # so A/B kernel profiles are self-describing.
+            root.tag("kernels.backend", spec.apply())
+            root.tag("variant", spec.variant)
             trace = _profile_trace(args)
             if trace is None:
                 return 2
@@ -321,7 +328,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                                     prefilter=args.prefilter,
                                     sanitize=args.sanitize,
                                     jobs=args.jobs,
-                                    variant=_variant(args))
+                                    variant=spec)
             try:
                 vindicator.run(trace)
             except SanitizerError as exc:
@@ -413,19 +420,32 @@ def build_parser() -> argparse.ArgumentParser:
                               "--jobs 1 (default: 1, fully serial)")
 
     def add_variant_flags(cmd: argparse.ArgumentParser) -> None:
-        # One detector implementation per run: --fast-vc and --batch
-        # both select the WCP/DC variant, so argparse rejects the combo.
-        group = cmd.add_mutually_exclusive_group()
-        group.add_argument("--fast-vc", action="store_true", dest="fast_vc",
-                           help="run the SmartTrack-style epoch/dense-kernel "
-                                "WCP and DC detectors (same verdicts and "
-                                "constraint graph, >=2x faster)")
-        group.add_argument("--batch", action="store_true",
-                           help="run the batched interpreter over the packed "
-                                "columnar encoding (same verdicts and "
-                                "constraint graph, >=5x faster than the "
-                                "reference on workload-scale traces; "
-                                "requires numpy)")
+        # The flags compose instead of conflicting: the batch detectors
+        # are the epoch detectors plus the vectorized planner, so
+        # --batch subsumes --fast-vc (repro.analysis.variants.resolve),
+        # and either composes with --kernels compiled for the full
+        # fused-kernel fast path.
+        cmd.add_argument("--fast-vc", action="store_true", dest="fast_vc",
+                         help="run the SmartTrack-style epoch/dense-kernel "
+                              "WCP and DC detectors (same verdicts and "
+                              "constraint graph, >=2x faster)")
+        cmd.add_argument("--batch", action="store_true",
+                         help="run the batched interpreter over the packed "
+                              "columnar encoding (same verdicts and "
+                              "constraint graph, >=5x faster than the "
+                              "reference on workload-scale traces; "
+                              "requires numpy; subsumes --fast-vc and "
+                              "composes with --kernels compiled)")
+        # Accept --kernels after the subcommand too, so the composed
+        # invocation reads naturally (`analyze t.txt --batch --kernels
+        # compiled`).  SUPPRESS keeps the subparser from clobbering a
+        # root-level --kernels with its own default when the flag is
+        # only given up front.
+        cmd.add_argument("--kernels", choices=("auto", "python", "compiled"),
+                         default=argparse.SUPPRESS,
+                         help="clock-kernel backend for this run (same as "
+                              "the global --kernels; composes with --batch "
+                              "and --fast-vc)")
 
     analyze = sub.add_parser("analyze", help="analyze a text-format trace file")
     analyze.add_argument("trace", help="path to the trace file")

@@ -29,22 +29,35 @@ static PyObject *str_tid;  /* interned "tid" */
 static PyObject *str_eid;  /* interned "eid" */
 
 /* Attribute names used by the fused access kernels. */
-static PyObject *str_entries;        /* "entries" (_DenseSourceClocks) */
-static PyObject *str_owner;          /* _VarState slots... */
+static PyObject *str_entries;        /* "entries" (DenseSourceClocks) */
+static PyObject *str_owner;          /* _VarState / DenseLockQueues */
 static PyObject *str_xw_time;
 static PyObject *str_xw_ev;
 static PyObject *str_xw_snap;
 static PyObject *str_xr_time;
 static PyObject *str_xr_ev;
 static PyObject *str_xr_snap;
+/* DenseLockQueues slots used by the fused sync-op kernels. */
+static PyObject *str_records;
+static PyObject *str_cursors;
+static PyObject *str_open_ti;
+static PyObject *str_open_rec;
+/* Shared small-int singletons for the lock-queue state machine. */
+static PyObject *long_neg1;
+static PyObject *long_neg2;
+
+static int ebuf_push(PyObject *ebuf, PyObject *src_obj, PyObject *dst_obj);
 /* Slots of the fused-kernel counter block (smarttrack._FS_*). */
-#define FS_JOINS         0
-#define FS_FILTER_SKIPS  1
-#define FS_FILTER_CHECKS 2
-#define FS_EXCL_FAST     3
-#define FS_SNAP_REUSES   4
-#define FS_SNAP_COPIES   5
-#define FS_SLOTS         6
+#define FS_JOINS          0
+#define FS_FILTER_SKIPS   1
+#define FS_FILTER_CHECKS  2
+#define FS_EXCL_FAST      3
+#define FS_SNAP_REUSES    4
+#define FS_SNAP_COPIES    5
+#define FS_GRAPH_EDGES    6
+#define FS_RULE_B_SKIPS   7
+#define FS_LOCK_TRANSFERS 8
+#define FS_SLOTS          9
 
 /* ------------------------------------------------------------------ */
 /* Comparison helpers (exact-long fast path, rich-compare fallback)    */
@@ -203,23 +216,30 @@ error:
 /* ------------------------------------------------------------------ */
 /* Table maintenance                                                   */
 /* ------------------------------------------------------------------ */
+/* (Re-)insert table[key] = value at the end of the insertion order. */
+static int
+record_latest_core(PyObject *table, PyObject *key, PyObject *value)
+{
+    int has;
+    if (!PyDict_Check(table)) {
+        PyErr_SetString(PyExc_TypeError, "table must be a dict");
+        return -1;
+    }
+    has = PyDict_Contains(table, key);
+    if (has < 0)
+        return -1;
+    if (has && PyDict_DelItem(table, key) < 0)
+        return -1;
+    return PyDict_SetItem(table, key, value);
+}
+
 static PyObject *
 k_record_latest(PyObject *self, PyObject *args)
 {
     PyObject *table, *key, *value;
-    int has;
     if (!PyArg_ParseTuple(args, "OOO:record_latest", &table, &key, &value))
         return NULL;
-    if (!PyDict_Check(table)) {
-        PyErr_SetString(PyExc_TypeError, "table must be a dict");
-        return NULL;
-    }
-    has = PyDict_Contains(table, key);
-    if (has < 0)
-        return NULL;
-    if (has && PyDict_DelItem(table, key) < 0)
-        return NULL;
-    if (PyDict_SetItem(table, key, value) < 0)
+    if (record_latest_core(table, key, value) < 0)
         return NULL;
     Py_RETURN_NONE;
 }
@@ -358,20 +378,23 @@ k_source_join_into(PyObject *self, PyObject *args)
 /* ------------------------------------------------------------------ */
 /* Dense rule (b): FIFO-cursor fixpoint                                */
 /* ------------------------------------------------------------------ */
-static PyObject *
-k_rule_b_fixpoint(PyObject *self, PyObject *args)
-{
-    PyObject *records, *cursors, *values, *out = NULL;
-    int changed = 1;
 
-    if (!PyArg_ParseTuple(args, "OOO:rule_b_fixpoint",
-                          &records, &cursors, &values))
-        return NULL;
+/* Core of rule_b_fixpoint, shared with the fused release kernels.
+ * When out != NULL, the newly ordered release eids are appended to
+ * *out (created lazily, reference insertion order; cleanup of *out on
+ * error is the caller's job).  Returns 1 if any record joined, 0 if
+ * none, -1 on error. */
+static int
+rule_b_core(PyObject *records, PyObject *cursors, PyObject *values,
+            PyObject **out)
+{
+    int changed = 1, joined = 0;
+
     if (!PyDict_Check(records) || !PyDict_Check(cursors) ||
             !PyList_Check(values)) {
         PyErr_SetString(PyExc_TypeError,
                         "rule_b_fixpoint expects (dict, dict, list)");
-        return NULL;
+        return -1;
     }
     while (changed) {
         PyObject *key, *recs;
@@ -384,22 +407,22 @@ k_rule_b_fixpoint(PyObject *self, PyObject *args)
 
             u = PyLong_AsLong(key);
             if (u == -1 && PyErr_Occurred())
-                goto error;
+                return -1;
             cur = PyDict_GetItemWithError(cursors, key);
             if (cur == NULL) {
                 if (PyErr_Occurred())
-                    goto error;
+                    return -1;
                 i = 0;
             }
             else {
                 i = PyLong_AsSsize_t(cur);
                 if (i == -1 && PyErr_Occurred())
-                    goto error;
+                    return -1;
             }
             if (!PyList_Check(recs)) {
                 PyErr_SetString(PyExc_TypeError,
                                 "record queue must be a list");
-                goto error;
+                return -1;
             }
             n = PyList_GET_SIZE(recs);
             vu = NULL;
@@ -410,52 +433,68 @@ k_rule_b_fixpoint(PyObject *self, PyObject *args)
                 if (!PyList_Check(rec) || PyList_GET_SIZE(rec) != 4) {
                     PyErr_SetString(PyExc_TypeError,
                                     "rule (b) record must be a 4-list");
-                    goto error;
+                    return -1;
                 }
                 snap = PyList_GET_ITEM(rec, 3);
                 if (snap == Py_None)
                     break;  /* source critical section still open */
                 vu = list_get(values, (Py_ssize_t)u);
                 if (vu == NULL)
-                    goto error;
+                    return -1;
                 c = obj_cmp(vu, PyList_GET_ITEM(rec, 0), Py_LT);
                 if (c < 0)
-                    goto error;
+                    return -1;
                 if (c)
                     break;  /* FIFO heads are monotone per thread */
                 c = obj_cmp(vu, PyList_GET_ITEM(rec, 2), Py_LT);
                 if (c < 0)
-                    goto error;
+                    return -1;
                 if (c) {
                     if (join_core(values, snap) < 0)
-                        goto error;
-                    if (out == NULL) {
-                        out = PyList_New(0);
-                        if (out == NULL)
-                            goto error;
+                        return -1;
+                    joined = 1;
+                    if (out != NULL) {
+                        if (*out == NULL) {
+                            *out = PyList_New(0);
+                            if (*out == NULL)
+                                return -1;
+                        }
+                        if (PyList_Append(*out,
+                                          PyList_GET_ITEM(rec, 1)) < 0)
+                            return -1;
                     }
-                    if (PyList_Append(out, PyList_GET_ITEM(rec, 1)) < 0)
-                        goto error;
                     changed = 1;
                 }
                 i++;
             }
             i_obj = PyLong_FromSsize_t(i);
             if (i_obj == NULL)
-                goto error;
+                return -1;
             if (PyDict_SetItem(cursors, key, i_obj) < 0) {
                 Py_DECREF(i_obj);
-                goto error;
+                return -1;
             }
             Py_DECREF(i_obj);
         }
     }
+    return joined;
+}
+
+static PyObject *
+k_rule_b_fixpoint(PyObject *self, PyObject *args)
+{
+    PyObject *records, *cursors, *values, *out = NULL;
+
+    if (!PyArg_ParseTuple(args, "OOO:rule_b_fixpoint",
+                          &records, &cursors, &values))
+        return NULL;
+    if (rule_b_core(records, cursors, values, &out) < 0) {
+        Py_XDECREF(out);
+        return NULL;
+    }
     if (out == NULL)
         Py_RETURN_NONE;
     return out;
-error:
-    Py_XDECREF(out);
-    return NULL;
 }
 
 /* ------------------------------------------------------------------ */
@@ -757,6 +796,44 @@ bump_slot(PyObject *fs, Py_ssize_t i, long delta)
     return PyList_SetItem(fs, i, fresh);
 }
 
+/* Join one conflicting critical-section table into `values`; with the
+ * edge buffer active (ebuf != NULL), append one counted
+ * (source_release -> eid) pair per newly ordered source, in the order
+ * source_join_core visits them (= the reference's _add_edge order).
+ * Returns 1 if anything joined, 0 otherwise, -1 on error. */
+static int
+rule_a_join_one(PyObject *src, PyObject *values, long ti,
+                PyObject *fs, PyObject *ebuf, PyObject *eid_obj)
+{
+    PyObject *entries = PyObject_GetAttr(src, str_entries);
+    PyObject *srcs = NULL;
+    int c;
+
+    if (entries == NULL)
+        return -1;
+    c = source_join_core(entries, values, ti, ebuf == NULL ? NULL : &srcs);
+    Py_DECREF(entries);
+    if (c < 0) {
+        Py_XDECREF(srcs);
+        return -1;
+    }
+    if (srcs != NULL) {
+        Py_ssize_t k, n = PyList_GET_SIZE(srcs);
+        for (k = 0; k < n; k++) {
+            if (ebuf_push(ebuf, PyList_GET_ITEM(srcs, k), eid_obj) < 0) {
+                Py_DECREF(srcs);
+                return -1;
+            }
+        }
+        if (n > 0 && bump_slot(fs, FS_GRAPH_EDGES, (long)n) < 0) {
+            Py_DECREF(srcs);
+            return -1;
+        }
+        Py_DECREF(srcs);
+    }
+    return c;
+}
+
 /* The held-lock rule (a) staging loop shared by both fused access
  * kernels: join the conflicting critical-section source clocks into
  * the analysis clock and record this access as pending for the
@@ -765,7 +842,8 @@ bump_slot(PyObject *fs, Py_ssize_t i, long delta)
 static int
 rule_a_held(PyObject *held_t, PyObject *cs_writes, PyObject *cs_reads,
             PyObject *pend, PyObject *values, long ti, long nv,
-            PyObject *vi_obj, long vi, int is_write)
+            PyObject *vi_obj, long vi, int is_write,
+            PyObject *fs, PyObject *ebuf, PyObject *eid_obj)
 {
     Py_ssize_t k, nheld;
     int dirty = 0;
@@ -796,13 +874,7 @@ rule_a_held(PyObject *held_t, PyObject *cs_writes, PyObject *cs_reads,
             return -1;
         }
         if (src != NULL) {
-            PyObject *entries = PyObject_GetAttr(src, str_entries);
-            if (entries == NULL) {
-                Py_DECREF(key);
-                return -1;
-            }
-            c = source_join_core(entries, values, ti, NULL);
-            Py_DECREF(entries);
+            c = rule_a_join_one(src, values, ti, fs, ebuf, eid_obj);
             if (c < 0) {
                 Py_DECREF(key);
                 return -1;
@@ -816,13 +888,7 @@ rule_a_held(PyObject *held_t, PyObject *cs_writes, PyObject *cs_reads,
                 return -1;
             }
             if (src != NULL) {
-                PyObject *entries = PyObject_GetAttr(src, str_entries);
-                if (entries == NULL) {
-                    Py_DECREF(key);
-                    return -1;
-                }
-                c = source_join_core(entries, values, ti, NULL);
-                Py_DECREF(entries);
+                c = rule_a_join_one(src, values, ti, fs, ebuf, eid_obj);
                 if (c < 0) {
                     Py_DECREF(key);
                     return -1;
@@ -931,6 +997,24 @@ error:
     return -1;
 }
 
+/* ------------------------------------------------------------------ */
+/* The DC edge buffer                                                  */
+/* ------------------------------------------------------------------ */
+
+/* Graph edges are staged as a flat [src0, dst0, src1, dst1, ...]
+ * Python list shared with the detector (its `_ebuf`), appended in
+ * exactly the order the reference detector inserts them into the
+ * constraint graph, and drained by Python at finish() — so the fused
+ * kernels stay graph-agnostic and the drained graph is edge-for-edge
+ * identical, insertion order included. */
+static int
+ebuf_push(PyObject *ebuf, PyObject *src_obj, PyObject *dst_obj)
+{
+    if (PyList_Append(ebuf, src_obj) < 0)
+        return -1;
+    return PyList_Append(ebuf, dst_obj);
+}
+
 /* One call executes the entire _on_access body of the epoch detectors
  * for the overwhelmingly common cases; the return value tells the
  * caller whether the rare SHARED-stage race check still must run in
@@ -939,18 +1023,18 @@ error:
  * ctx is built once per trace by the detector's begin_trace:
  *   (fs, tix, lt, tgt, held, clock_a, clock_b, pending_fork, snap_ok,
  *    snaps, cand, vars, pending_vars, cs_writes, cs_reads, nv, T,
- *    force_snap, varstate_cls)
+ *    force_snap, varstate_cls, ebuf)
  * with clock_a/clock_b = (_h, _p) for WCP and (_values, _last_event)
- * for DC.  The DC kernel must only be installed when build_graph is
- * off — graph edges stay on the Python path (the detector guarantees
- * this; see EpochDCDetector.begin_trace). */
+ * for DC.  ebuf is the DC edge buffer when graph building is on, None
+ * otherwise (always None for WCP). */
 
-#define ACCESS_CTX_SIZE 19
+#define ACCESS_CTX_SIZE 20
 
 typedef struct {
     PyObject *fs, *tix, *lt, *tgt, *held, *clock_a, *clock_b;
     PyObject *pending_fork, *snap_ok, *snaps, *cand, *vars;
     PyObject *pending_vars, *cs_w, *cs_r, *varstate_cls;
+    PyObject *ebuf;  /* NULL when graph building is off */
     long nv, T;
     int force_snap;
 } access_ctx;
@@ -981,9 +1065,16 @@ unpack_access_ctx(PyObject *ctx, access_ctx *c)
     c->T = PyLong_AsLong(PyTuple_GET_ITEM(ctx, 16));
     c->force_snap = PyObject_IsTrue(PyTuple_GET_ITEM(ctx, 17));
     c->varstate_cls = PyTuple_GET_ITEM(ctx, 18);
+    c->ebuf = PyTuple_GET_ITEM(ctx, 19);
     if (((c->nv == -1 || c->T == -1) && PyErr_Occurred()) ||
             c->force_snap < 0)
         return -1;
+    if (c->ebuf == Py_None)
+        c->ebuf = NULL;
+    else if (!PyList_Check(c->ebuf)) {
+        PyErr_SetString(PyExc_TypeError, "bad access kernel context");
+        return -1;
+    }
     if (!PyList_Check(c->fs) || PyList_GET_SIZE(c->fs) < FS_SLOTS) {
         PyErr_SetString(PyExc_TypeError, "bad access kernel context");
         return -1;
@@ -1007,7 +1098,8 @@ unpack_access_ctx(PyObject *ctx, access_ctx *c)
  * kernel result or -1 on error. */
 static int
 access_tail(access_ctx *c, Py_ssize_t eid, int is_write, PyObject *event,
-            PyObject *ti_obj, long ti, PyObject *t_obj, PyObject *values)
+            PyObject *ti_obj, long ti, PyObject *t_obj, PyObject *values,
+            PyObject *eid_obj)
 {
     PyObject *held_t, *st, *vi_obj;
     long vi, owner;
@@ -1028,7 +1120,8 @@ access_tail(access_ctx *c, Py_ssize_t eid, int is_write, PyObject *event,
         if (pend == NULL)
             return -1;
         dirty = rule_a_held(held_t, c->cs_w, c->cs_r, pend, values,
-                            ti, c->nv, vi_obj, vi, is_write);
+                            ti, c->nv, vi_obj, vi, is_write,
+                            c->fs, c->ebuf, eid_obj);
         if (dirty < 0)
             return -1;
         if (dirty && list_set_obj(c->snap_ok, ti, Py_False) < 0)
@@ -1090,6 +1183,163 @@ error:
     return -1;
 }
 
+/* The per-event WCP clock advance shared by the access and sync-op
+ * kernels: bump H[ti] to the event's local time (P carries no own
+ * program order) and consume a pending fork edge.  On success the
+ * h_out and p_out parameters receive borrowed references kept alive
+ * by the clock tables. */
+static int
+wcp_advance(PyObject *fs, PyObject *clock_a, PyObject *clock_b,
+            PyObject *pending_fork, PyObject *snap_ok, long T, long ti,
+            PyObject *ti_obj, PyObject *t_obj,
+            PyObject **h_out, PyObject **p_out)
+{
+    PyObject *h, *p;
+
+    h = list_get(clock_a, ti);
+    if (h == NULL)
+        return -1;
+    if (h == Py_None) {
+        h = zeros_list(T);
+        if (h == NULL)
+            return -1;
+        if (PyList_SetItem(clock_a, ti, h) < 0)  /* list keeps h alive */
+            return -1;
+        p = zeros_list(T);
+        if (p == NULL)
+            return -1;
+        if (PyList_SetItem(clock_b, ti, p) < 0)
+            return -1;
+    }
+    else {
+        p = list_get(clock_b, ti);
+        if (p == NULL)
+            return -1;
+    }
+    if (!PyList_Check(h) || !PyList_Check(p)) {
+        PyErr_SetString(PyExc_TypeError, "clock must be a list");
+        return -1;
+    }
+    if (list_set_obj(h, ti, t_obj) < 0)  /* h[ti] = t */
+        return -1;
+    if (PyDict_GET_SIZE(pending_fork) > 0) {
+        PyObject *parent = PyDict_GetItemWithError(pending_fork, ti_obj);
+        if (parent == NULL) {
+            if (PyErr_Occurred())
+                return -1;
+        }
+        else {
+            int changed;
+            Py_INCREF(parent);
+            if (PyDict_DelItem(pending_fork, ti_obj) < 0 ||
+                    join_core(h, parent) < 0) {
+                Py_DECREF(parent);
+                return -1;
+            }
+            changed = join_core(p, parent);
+            Py_DECREF(parent);
+            if (changed < 0)
+                return -1;
+            if (changed && list_set_obj(snap_ok, ti, Py_False) < 0)
+                return -1;
+            if (bump_slot(fs, FS_JOINS, 2) < 0)
+                return -1;
+        }
+    }
+    *h_out = h;
+    *p_out = p;
+    return 0;
+}
+
+/* The per-event DC advance shared by the access and sync-op kernels:
+ * values[ti] = t, the (uncounted) program-order edge from the thread's
+ * previous event, a pending fork join plus its counted edge, then
+ * last_event[ti] = eid — exactly EpochDCDetector._advance.  ebuf is
+ * NULL when graph building is off.  On success *values_out receives a
+ * borrowed reference kept alive by the clock table. */
+static int
+dc_advance(PyObject *fs, PyObject *clock_a, PyObject *clock_b,
+           PyObject *pending_fork, PyObject *snap_ok, PyObject *ebuf,
+           long T, long ti, PyObject *ti_obj, PyObject *t_obj,
+           PyObject *eid_obj, PyObject **values_out)
+{
+    PyObject *values;
+
+    values = list_get(clock_a, ti);
+    if (values == NULL)
+        return -1;
+    if (values == Py_None) {
+        values = zeros_list(T);
+        if (values == NULL)
+            return -1;
+        if (PyList_SetItem(clock_a, ti, values) < 0)
+            return -1;
+    }
+    if (!PyList_Check(values)) {
+        PyErr_SetString(PyExc_TypeError, "clock must be a list");
+        return -1;
+    }
+    if (list_set_obj(values, ti, t_obj) < 0)  /* values[ti] = t */
+        return -1;
+    if (ebuf != NULL) {
+        /* Program order: read prev before last_event is overwritten. */
+        PyObject *prev_obj = list_get(clock_b, ti);
+        long prev;
+        if (prev_obj == NULL)
+            return -1;
+        prev = PyLong_AsLong(prev_obj);
+        if (prev == -1 && PyErr_Occurred())
+            return -1;
+        if (prev >= 0 && ebuf_push(ebuf, prev_obj, eid_obj) < 0)
+            return -1;
+    }
+    if (PyDict_GET_SIZE(pending_fork) > 0) {
+        PyObject *pending = PyDict_GetItemWithError(pending_fork, ti_obj);
+        if (pending == NULL) {
+            if (PyErr_Occurred())
+                return -1;
+        }
+        else {
+            int changed;
+            if (!PyTuple_Check(pending) || PyTuple_GET_SIZE(pending) != 2) {
+                PyErr_SetString(PyExc_TypeError,
+                                "pending fork must be (eid, clock)");
+                return -1;
+            }
+            Py_INCREF(pending);
+            if (PyDict_DelItem(pending_fork, ti_obj) < 0) {
+                Py_DECREF(pending);
+                return -1;
+            }
+            changed = join_core(values, PyTuple_GET_ITEM(pending, 1));
+            if (changed < 0) {
+                Py_DECREF(pending);
+                return -1;
+            }
+            if (changed && list_set_obj(snap_ok, ti, Py_False) < 0) {
+                Py_DECREF(pending);
+                return -1;
+            }
+            if (bump_slot(fs, FS_JOINS, 1) < 0) {
+                Py_DECREF(pending);
+                return -1;
+            }
+            if (ebuf != NULL &&
+                    (ebuf_push(ebuf, PyTuple_GET_ITEM(pending, 0),
+                               eid_obj) < 0 ||
+                     bump_slot(fs, FS_GRAPH_EDGES, 1) < 0)) {
+                Py_DECREF(pending);
+                return -1;
+            }
+            Py_DECREF(pending);
+        }
+    }
+    if (list_set_obj(clock_b, ti, eid_obj) < 0)  /* last_event[ti] = eid */
+        return -1;
+    *values_out = values;
+    return 0;
+}
+
 static PyObject *
 k_access_wcp(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
 {
@@ -1122,58 +1372,10 @@ k_access_wcp(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
     t_obj = list_get(c.lt, eid);
     if (t_obj == NULL)
         return NULL;
-    /* Advance H (P carries no own program order); lazily allocate. */
-    h = list_get(c.clock_a, ti);
-    if (h == NULL)
+    if (wcp_advance(c.fs, c.clock_a, c.clock_b, c.pending_fork, c.snap_ok,
+                    c.T, ti, ti_obj, t_obj, &h, &p) < 0)
         return NULL;
-    if (h == Py_None) {
-        h = zeros_list(c.T);
-        if (h == NULL)
-            return NULL;
-        if (PyList_SetItem(c.clock_a, ti, h) < 0)  /* list keeps h alive */
-            return NULL;
-        p = zeros_list(c.T);
-        if (p == NULL)
-            return NULL;
-        if (PyList_SetItem(c.clock_b, ti, p) < 0)
-            return NULL;
-    }
-    else {
-        p = list_get(c.clock_b, ti);
-        if (p == NULL)
-            return NULL;
-    }
-    if (!PyList_Check(h) || !PyList_Check(p)) {
-        PyErr_SetString(PyExc_TypeError, "clock must be a list");
-        return NULL;
-    }
-    if (list_set_obj(h, ti, t_obj) < 0)  /* h[ti] = t */
-        return NULL;
-    if (PyDict_GET_SIZE(c.pending_fork) > 0) {
-        PyObject *parent = PyDict_GetItemWithError(c.pending_fork, ti_obj);
-        if (parent == NULL) {
-            if (PyErr_Occurred())
-                return NULL;
-        }
-        else {
-            int changed;
-            Py_INCREF(parent);
-            if (PyDict_DelItem(c.pending_fork, ti_obj) < 0 ||
-                    join_core(h, parent) < 0) {
-                Py_DECREF(parent);
-                return NULL;
-            }
-            changed = join_core(p, parent);
-            Py_DECREF(parent);
-            if (changed < 0)
-                return NULL;
-            if (changed && list_set_obj(c.snap_ok, ti, Py_False) < 0)
-                return NULL;
-            if (bump_slot(c.fs, FS_JOINS, 2) < 0)
-                return NULL;
-        }
-    }
-    r = access_tail(&c, eid, is_write, event, ti_obj, ti, t_obj, p);
+    r = access_tail(&c, eid, is_write, event, ti_obj, ti, t_obj, p, NULL);
     if (r < 0)
         return NULL;
     return PyLong_FromLong(r);
@@ -1211,60 +1413,862 @@ k_access_dc(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
     t_obj = list_get(c.lt, eid);
     if (t_obj == NULL)
         return NULL;
-    values = list_get(c.clock_a, ti);
-    if (values == NULL)
-        return NULL;
-    if (values == Py_None) {
-        values = zeros_list(c.T);
-        if (values == NULL)
-            return NULL;
-        if (PyList_SetItem(c.clock_a, ti, values) < 0)
-            return NULL;
-    }
-    if (!PyList_Check(values)) {
-        PyErr_SetString(PyExc_TypeError, "clock must be a list");
-        return NULL;
-    }
-    if (list_set_obj(values, ti, t_obj) < 0)  /* values[ti] = t */
-        return NULL;
-    if (PyDict_GET_SIZE(c.pending_fork) > 0) {
-        PyObject *pending = PyDict_GetItemWithError(c.pending_fork, ti_obj);
-        if (pending == NULL) {
-            if (PyErr_Occurred())
-                return NULL;
-        }
-        else {
-            int changed;
-            if (!PyTuple_Check(pending) || PyTuple_GET_SIZE(pending) != 2) {
-                PyErr_SetString(PyExc_TypeError,
-                                "pending fork must be (eid, clock)");
-                return NULL;
-            }
-            Py_INCREF(pending);
-            if (PyDict_DelItem(c.pending_fork, ti_obj) < 0) {
-                Py_DECREF(pending);
-                return NULL;
-            }
-            changed = join_core(values, PyTuple_GET_ITEM(pending, 1));
-            Py_DECREF(pending);
-            if (changed < 0)
-                return NULL;
-            if (changed && list_set_obj(c.snap_ok, ti, Py_False) < 0)
-                return NULL;
-            if (bump_slot(c.fs, FS_JOINS, 1) < 0)
-                return NULL;
-        }
-    }
-    /* last_event[ti] = eid */
     eid_obj = PyLong_FromSsize_t(eid);
     if (eid_obj == NULL)
         return NULL;
-    if (PyList_SetItem(c.clock_b, ti, eid_obj) < 0)
+    if (dc_advance(c.fs, c.clock_a, c.clock_b, c.pending_fork, c.snap_ok,
+                   c.ebuf, c.T, ti, ti_obj, t_obj, eid_obj, &values) < 0) {
+        Py_DECREF(eid_obj);
         return NULL;
-    r = access_tail(&c, eid, is_write, event, ti_obj, ti, t_obj, values);
+    }
+    r = access_tail(&c, eid, is_write, event, ti_obj, ti, t_obj, values,
+                    eid_obj);
+    Py_DECREF(eid_obj);
     if (r < 0)
         return NULL;
     return PyLong_FromLong(r);
+}
+
+/* ------------------------------------------------------------------ */
+/* Fused sync-op fast paths (acquire / release / fork / join)          */
+/* ------------------------------------------------------------------ */
+
+/* One call executes the entire on_acquire / on_release / on_fork /
+ * on_join body of the epoch detectors: clock advance, lock-queue
+ * rule (a)/(b) maintenance, CCS ownership tags, and H/P snapshot
+ * recording.  Signature: kernel(sctx, eid).  The release kernels
+ * return a status int — 0 handled, 1 no matching acquire (the caller
+ * raises the reference exception); the others return None.
+ *
+ * sctx is built once per trace by the detector's _bind_sync:
+ *   (fs, tix, lt, tgt, clock_a, clock_b, pending_fork, snap_ok,
+ *    queues, lockq_cls, pending_vars, cs_writes, cs_reads,
+ *    srcclocks_cls, nv, T, ebuf, lock_h, lock_p)
+ * with clock_a/clock_b = (_h, _p) for WCP and (_values, _last_event)
+ * for DC; ebuf is the DC edge buffer or None; lock_h/lock_p are the
+ * WCP per-lock snapshot tables (None for DC). */
+
+#define SYNC_CTX_SIZE 19
+
+typedef struct {
+    PyObject *fs, *tix, *lt, *tgt, *clock_a, *clock_b;
+    PyObject *pending_fork, *snap_ok, *queues, *lockq_cls;
+    PyObject *pending_vars, *cs_w, *cs_r, *srcclocks_cls;
+    PyObject *ebuf;            /* NULL when graph building is off */
+    PyObject *lock_h, *lock_p; /* NULL for DC */
+    long nv, T;
+} sync_ctx;
+
+static int
+unpack_sync_ctx(PyObject *ctx, sync_ctx *c)
+{
+    if (!PyTuple_Check(ctx) || PyTuple_GET_SIZE(ctx) != SYNC_CTX_SIZE) {
+        PyErr_SetString(PyExc_TypeError, "bad sync kernel context");
+        return -1;
+    }
+    c->fs = PyTuple_GET_ITEM(ctx, 0);
+    c->tix = PyTuple_GET_ITEM(ctx, 1);
+    c->lt = PyTuple_GET_ITEM(ctx, 2);
+    c->tgt = PyTuple_GET_ITEM(ctx, 3);
+    c->clock_a = PyTuple_GET_ITEM(ctx, 4);
+    c->clock_b = PyTuple_GET_ITEM(ctx, 5);
+    c->pending_fork = PyTuple_GET_ITEM(ctx, 6);
+    c->snap_ok = PyTuple_GET_ITEM(ctx, 7);
+    c->queues = PyTuple_GET_ITEM(ctx, 8);
+    c->lockq_cls = PyTuple_GET_ITEM(ctx, 9);
+    c->pending_vars = PyTuple_GET_ITEM(ctx, 10);
+    c->cs_w = PyTuple_GET_ITEM(ctx, 11);
+    c->cs_r = PyTuple_GET_ITEM(ctx, 12);
+    c->srcclocks_cls = PyTuple_GET_ITEM(ctx, 13);
+    c->nv = PyLong_AsLong(PyTuple_GET_ITEM(ctx, 14));
+    c->T = PyLong_AsLong(PyTuple_GET_ITEM(ctx, 15));
+    c->ebuf = PyTuple_GET_ITEM(ctx, 16);
+    c->lock_h = PyTuple_GET_ITEM(ctx, 17);
+    c->lock_p = PyTuple_GET_ITEM(ctx, 18);
+    if ((c->nv == -1 || c->T == -1) && PyErr_Occurred())
+        return -1;
+    if (c->ebuf == Py_None)
+        c->ebuf = NULL;
+    else if (!PyList_Check(c->ebuf)) {
+        PyErr_SetString(PyExc_TypeError, "bad sync kernel context");
+        return -1;
+    }
+    if (c->lock_h == Py_None)
+        c->lock_h = NULL;
+    else if (!PyList_Check(c->lock_h)) {
+        PyErr_SetString(PyExc_TypeError, "bad sync kernel context");
+        return -1;
+    }
+    if (c->lock_p == Py_None)
+        c->lock_p = NULL;
+    else if (!PyList_Check(c->lock_p)) {
+        PyErr_SetString(PyExc_TypeError, "bad sync kernel context");
+        return -1;
+    }
+    if (!PyList_Check(c->fs) || PyList_GET_SIZE(c->fs) < FS_SLOTS ||
+            !PyList_Check(c->tix) || !PyList_Check(c->lt) ||
+            !PyList_Check(c->tgt) || !PyList_Check(c->clock_a) ||
+            !PyList_Check(c->clock_b) || !PyDict_Check(c->pending_fork) ||
+            !PyList_Check(c->snap_ok) || !PyList_Check(c->queues) ||
+            !PyList_Check(c->pending_vars) || !PyDict_Check(c->cs_w) ||
+            !PyDict_Check(c->cs_r)) {
+        PyErr_SetString(PyExc_TypeError, "bad sync kernel context");
+        return -1;
+    }
+    return 0;
+}
+
+/* Shared (ctx, eid) prologue: parse, unpack, and resolve the event's
+ * thread index, local time, and role-specific target index. */
+static int
+sync_prologue(PyObject *const *args, Py_ssize_t nargs, const char *name,
+              sync_ctx *c, Py_ssize_t *eid, PyObject **ti_obj, long *ti,
+              PyObject **t_obj, PyObject **tgt_obj, long *target)
+{
+    if (nargs != 2) {
+        PyErr_Format(PyExc_TypeError, "%s expects (ctx, eid)", name);
+        return -1;
+    }
+    *eid = PyLong_AsSsize_t(args[1]);
+    if (*eid == -1 && PyErr_Occurred())
+        return -1;
+    if (unpack_sync_ctx(args[0], c) < 0)
+        return -1;
+    *ti_obj = list_get(c->tix, *eid);
+    if (*ti_obj == NULL)
+        return -1;
+    *ti = PyLong_AsLong(*ti_obj);
+    if (*ti == -1 && PyErr_Occurred())
+        return -1;
+    *t_obj = list_get(c->lt, *eid);
+    if (*t_obj == NULL)
+        return -1;
+    *tgt_obj = list_get(c->tgt, *eid);
+    if (*tgt_obj == NULL)
+        return -1;
+    *target = PyLong_AsLong(*tgt_obj);
+    if (*target == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+/* queues[li], creating a DenseLockQueues on the first touch.  Returns
+ * a borrowed reference kept alive by the queues list. */
+static PyObject *
+lockq_lazy(PyObject *queues, long li, PyObject *lockq_cls)
+{
+    PyObject *q = list_get(queues, (Py_ssize_t)li);
+    if (q == NULL || q != Py_None)
+        return q;
+    q = PyObject_CallNoArgs(lockq_cls);
+    if (q == NULL)
+        return NULL;
+    if (PyList_SetItem(queues, (Py_ssize_t)li, q) < 0)  /* steals q */
+        return NULL;
+    return q;
+}
+
+/* DenseLockQueues.on_acquire: append [acq_time, -1, -1, None] to the
+ * thread's record queue and mark it as the open critical section. */
+static int
+lockq_on_acquire(PyObject *q, PyObject *ti_obj, PyObject *t_obj)
+{
+    PyObject *rec, *records = NULL, *recs;
+    int ok = -1;
+
+    rec = PyList_New(4);
+    if (rec == NULL)
+        return -1;
+    Py_INCREF(t_obj);
+    PyList_SET_ITEM(rec, 0, t_obj);
+    Py_INCREF(long_neg1);
+    PyList_SET_ITEM(rec, 1, long_neg1);
+    Py_INCREF(long_neg1);
+    PyList_SET_ITEM(rec, 2, long_neg1);
+    Py_INCREF(Py_None);
+    PyList_SET_ITEM(rec, 3, Py_None);
+    records = PyObject_GetAttr(q, str_records);
+    if (records == NULL)
+        goto done;
+    if (!PyDict_Check(records)) {
+        PyErr_SetString(PyExc_TypeError, "records must be a dict");
+        goto done;
+    }
+    recs = PyDict_GetItemWithError(records, ti_obj);
+    if (recs == NULL) {
+        if (PyErr_Occurred())
+            goto done;
+        recs = PyList_New(0);
+        if (recs == NULL)
+            goto done;
+        if (PyDict_SetItem(records, ti_obj, recs) < 0) {
+            Py_DECREF(recs);
+            goto done;
+        }
+        Py_DECREF(recs);  /* the records dict keeps it alive */
+    }
+    if (PyList_Append(recs, rec) < 0)
+        goto done;
+    if (PyObject_SetAttr(q, str_open_ti, ti_obj) < 0)
+        goto done;
+    if (PyObject_SetAttr(q, str_open_rec, rec) < 0)
+        goto done;
+    ok = 0;
+done:
+    Py_XDECREF(records);
+    Py_DECREF(rec);
+    return ok;
+}
+
+/* DenseLockQueues.on_release: close the open record in place. */
+static int
+lockq_on_release(PyObject *q, PyObject *eid_obj, PyObject *t_obj,
+                 PyObject *snapshot)
+{
+    PyObject *rec = PyObject_GetAttr(q, str_open_rec);
+    if (rec == NULL)
+        return -1;
+    if (rec == Py_None) {
+        Py_DECREF(rec);
+        PyErr_SetString(PyExc_AssertionError,
+                        "release without matching acquire");
+        return -1;
+    }
+    if (!PyList_Check(rec) || PyList_GET_SIZE(rec) != 4) {
+        Py_DECREF(rec);
+        PyErr_SetString(PyExc_TypeError,
+                        "rule (b) record must be a 4-list");
+        return -1;
+    }
+    if (list_set_obj(rec, 1, eid_obj) < 0 ||
+            list_set_obj(rec, 2, t_obj) < 0 ||
+            list_set_obj(rec, 3, snapshot) < 0) {
+        Py_DECREF(rec);
+        return -1;
+    }
+    Py_DECREF(rec);
+    if (PyObject_SetAttr(q, str_open_ti, long_neg1) < 0)
+        return -1;
+    return PyObject_SetAttr(q, str_open_rec, Py_None);
+}
+
+/* The observer's rule (b) cursor map: q.cursors.setdefault(ti, {}).
+ * Returns a new reference. */
+static PyObject *
+lockq_cursors_for(PyObject *q, PyObject *ti_obj)
+{
+    PyObject *cursors, *cur;
+
+    cursors = PyObject_GetAttr(q, str_cursors);
+    if (cursors == NULL)
+        return NULL;
+    if (!PyDict_Check(cursors)) {
+        Py_DECREF(cursors);
+        PyErr_SetString(PyExc_TypeError, "cursors must be a dict");
+        return NULL;
+    }
+    cur = PyDict_GetItemWithError(cursors, ti_obj);
+    if (cur == NULL) {
+        if (PyErr_Occurred()) {
+            Py_DECREF(cursors);
+            return NULL;
+        }
+        cur = PyDict_New();
+        if (cur == NULL || PyDict_SetItem(cursors, ti_obj, cur) < 0) {
+            Py_XDECREF(cur);
+            Py_DECREF(cursors);
+            return NULL;
+        }
+    }
+    else {
+        Py_INCREF(cur);
+    }
+    Py_DECREF(cursors);
+    return cur;
+}
+
+/* Record one pending rule-(a) variable set into a conflicting
+ * critical-section table: for every variable in the set (iterated in
+ * the set's own order, identical to the reference for-loop over the
+ * same set object), (re-)insert `rec` as thread ti's latest entry of
+ * table_map[li * nv + vi], creating the DenseSourceClocks lazily. */
+static int
+record_vars_into(PyObject *vars_set, PyObject *table_map, long li, long nv,
+                 PyObject *srcclocks_cls, PyObject *ti_obj, PyObject *rec)
+{
+    PyObject *it, *vi_obj;
+
+    it = PyObject_GetIter(vars_set);
+    if (it == NULL)
+        return -1;
+    while ((vi_obj = PyIter_Next(it)) != NULL) {
+        long vi = PyLong_AsLong(vi_obj);
+        PyObject *key, *table, *entries;
+
+        if (vi == -1 && PyErr_Occurred())
+            goto item_error;
+        key = PyLong_FromLong(li * nv + vi);
+        if (key == NULL)
+            goto item_error;
+        table = PyDict_GetItemWithError(table_map, key);
+        if (table == NULL) {
+            if (PyErr_Occurred()) {
+                Py_DECREF(key);
+                goto item_error;
+            }
+            table = PyObject_CallNoArgs(srcclocks_cls);
+            if (table == NULL) {
+                Py_DECREF(key);
+                goto item_error;
+            }
+            if (PyDict_SetItem(table_map, key, table) < 0) {
+                Py_DECREF(key);
+                Py_DECREF(table);
+                goto item_error;
+            }
+            Py_DECREF(table);  /* the table map keeps it alive */
+        }
+        Py_DECREF(key);
+        entries = PyObject_GetAttr(table, str_entries);
+        if (entries == NULL)
+            goto item_error;
+        if (record_latest_core(entries, ti_obj, rec) < 0) {
+            Py_DECREF(entries);
+            goto item_error;
+        }
+        Py_DECREF(entries);
+        Py_DECREF(vi_obj);
+    }
+    Py_DECREF(it);
+    return PyErr_Occurred() ? -1 : 0;
+item_error:
+    Py_DECREF(vi_obj);
+    Py_DECREF(it);
+    return -1;
+}
+
+/* The pending rule-(a) recording at a release: pop this lock's
+ * (reads, writes) variable sets for the releasing thread and record
+ * the release snapshot — written vars into cs_writes first, then read
+ * vars into cs_reads, matching the reference order. */
+static int
+release_record_pending(sync_ctx *c, long li, PyObject *li_obj, long ti,
+                       PyObject *ti_obj, PyObject *eid_obj,
+                       PyObject *t_obj, PyObject *snapshot)
+{
+    PyObject *pend_map, *pending, *rec;
+    int r = -1;
+
+    pend_map = list_get(c->pending_vars, ti);
+    if (pend_map == NULL)
+        return -1;
+    if (!PyDict_Check(pend_map)) {
+        PyErr_SetString(PyExc_TypeError, "pending map must be a dict");
+        return -1;
+    }
+    pending = PyDict_GetItemWithError(pend_map, li_obj);
+    if (pending == NULL)
+        return PyErr_Occurred() ? -1 : 0;
+    Py_INCREF(pending);
+    if (PyDict_DelItem(pend_map, li_obj) < 0) {
+        Py_DECREF(pending);
+        return -1;
+    }
+    if (!PyTuple_Check(pending) || PyTuple_GET_SIZE(pending) != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "pending entry must be a (reads, writes) pair");
+        Py_DECREF(pending);
+        return -1;
+    }
+    rec = PyTuple_Pack(3, eid_obj, t_obj, snapshot);
+    if (rec == NULL) {
+        Py_DECREF(pending);
+        return -1;
+    }
+    if (record_vars_into(PyTuple_GET_ITEM(pending, 1), c->cs_w, li,
+                         c->nv, c->srcclocks_cls, ti_obj, rec) == 0 &&
+            record_vars_into(PyTuple_GET_ITEM(pending, 0), c->cs_r, li,
+                             c->nv, c->srcclocks_cls, ti_obj, rec) == 0)
+        r = 0;
+    Py_DECREF(rec);
+    Py_DECREF(pending);
+    return r;
+}
+
+static PyObject *
+k_acquire_wcp(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    sync_ctx c;
+    Py_ssize_t eid;
+    PyObject *ti_obj, *t_obj, *li_obj, *h, *p, *q, *lh;
+    long ti, li;
+
+    if (sync_prologue(args, nargs, "acquire_wcp", &c, &eid, &ti_obj, &ti,
+                      &t_obj, &li_obj, &li) < 0)
+        return NULL;
+    if (c.lock_h == NULL || c.lock_p == NULL) {
+        PyErr_SetString(PyExc_TypeError, "bad sync kernel context");
+        return NULL;
+    }
+    if (wcp_advance(c.fs, c.clock_a, c.clock_b, c.pending_fork, c.snap_ok,
+                    c.T, ti, ti_obj, t_obj, &h, &p) < 0)
+        return NULL;
+    lh = list_get(c.lock_h, (Py_ssize_t)li);
+    if (lh == NULL)
+        return NULL;
+    if (lh != Py_None) {
+        PyObject *lp = list_get(c.lock_p, (Py_ssize_t)li);
+        int changed;
+        if (lp == NULL)
+            return NULL;
+        if (join_core(h, lh) < 0)
+            return NULL;
+        changed = join_core(p, lp);  /* right HB composition */
+        if (changed < 0)
+            return NULL;
+        if (changed && list_set_obj(c.snap_ok, ti, Py_False) < 0)
+            return NULL;
+        if (bump_slot(c.fs, FS_JOINS, 2) < 0)
+            return NULL;
+    }
+    q = lockq_lazy(c.queues, li, c.lockq_cls);
+    if (q == NULL || lockq_on_acquire(q, ti_obj, t_obj) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+k_release_wcp(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    sync_ctx c;
+    Py_ssize_t eid;
+    PyObject *ti_obj, *t_obj, *li_obj, *h, *p, *q;
+    PyObject *cursors, *records, *h_snapshot, *eid_obj = NULL, *p_copy;
+    long ti, li;
+    int joined;
+
+    if (sync_prologue(args, nargs, "release_wcp", &c, &eid, &ti_obj, &ti,
+                      &t_obj, &li_obj, &li) < 0)
+        return NULL;
+    if (c.lock_h == NULL || c.lock_p == NULL) {
+        PyErr_SetString(PyExc_TypeError, "bad sync kernel context");
+        return NULL;
+    }
+    if (wcp_advance(c.fs, c.clock_a, c.clock_b, c.pending_fork, c.snap_ok,
+                    c.T, ti, ti_obj, t_obj, &h, &p) < 0)
+        return NULL;
+    q = list_get(c.queues, (Py_ssize_t)li);
+    if (q == NULL)
+        return NULL;
+    if (q == Py_None)  /* no matching acquire: caller raises KeyError */
+        return PyLong_FromLong(1);
+    cursors = lockq_cursors_for(q, ti_obj);
+    if (cursors == NULL)
+        return NULL;
+    records = PyObject_GetAttr(q, str_records);
+    if (records == NULL) {
+        Py_DECREF(cursors);
+        return NULL;
+    }
+    joined = rule_b_core(records, cursors, p, NULL);
+    Py_DECREF(records);
+    Py_DECREF(cursors);
+    if (joined < 0)
+        return NULL;
+    if (joined && list_set_obj(c.snap_ok, ti, Py_False) < 0)
+        return NULL;
+    h_snapshot = PyList_GetSlice(h, 0, PyList_GET_SIZE(h));
+    if (h_snapshot == NULL)
+        return NULL;
+    eid_obj = PyLong_FromSsize_t(eid);
+    if (eid_obj == NULL)
+        goto error;
+    if (release_record_pending(&c, li, li_obj, ti, ti_obj, eid_obj,
+                               t_obj, h_snapshot) < 0)
+        goto error;
+    if (lockq_on_release(q, eid_obj, t_obj, h_snapshot) < 0)
+        goto error;
+    if (list_set_obj(c.lock_h, (Py_ssize_t)li, h_snapshot) < 0)
+        goto error;
+    p_copy = PyList_GetSlice(p, 0, PyList_GET_SIZE(p));
+    if (p_copy == NULL)
+        goto error;
+    if (PyList_SetItem(c.lock_p, (Py_ssize_t)li, p_copy) < 0)  /* steals */
+        goto error;
+    Py_DECREF(eid_obj);
+    Py_DECREF(h_snapshot);
+    return PyLong_FromLong(0);
+error:
+    Py_XDECREF(eid_obj);
+    Py_DECREF(h_snapshot);
+    return NULL;
+}
+
+static PyObject *
+k_fork_wcp(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    sync_ctx c;
+    Py_ssize_t eid;
+    PyObject *ti_obj, *t_obj, *tgt_obj, *h, *p, *h_copy;
+    long ti, ci;
+
+    if (sync_prologue(args, nargs, "fork_wcp", &c, &eid, &ti_obj, &ti,
+                      &t_obj, &tgt_obj, &ci) < 0)
+        return NULL;
+    if (wcp_advance(c.fs, c.clock_a, c.clock_b, c.pending_fork, c.snap_ok,
+                    c.T, ti, ti_obj, t_obj, &h, &p) < 0)
+        return NULL;
+    h_copy = PyList_GetSlice(h, 0, PyList_GET_SIZE(h));
+    if (h_copy == NULL)
+        return NULL;
+    if (PyDict_SetItem(c.pending_fork, tgt_obj, h_copy) < 0) {
+        Py_DECREF(h_copy);
+        return NULL;
+    }
+    Py_DECREF(h_copy);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+k_join_wcp(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    sync_ctx c;
+    Py_ssize_t eid;
+    PyObject *ti_obj, *t_obj, *tgt_obj, *h, *p, *parent, *child_h;
+    long ti, ci;
+    int changed;
+
+    if (sync_prologue(args, nargs, "join_wcp", &c, &eid, &ti_obj, &ti,
+                      &t_obj, &tgt_obj, &ci) < 0)
+        return NULL;
+    if (wcp_advance(c.fs, c.clock_a, c.clock_b, c.pending_fork, c.snap_ok,
+                    c.T, ti, ti_obj, t_obj, &h, &p) < 0)
+        return NULL;
+    parent = PyDict_GetItemWithError(c.pending_fork, tgt_obj);
+    if (parent == NULL) {
+        if (PyErr_Occurred())
+            return NULL;
+    }
+    else {
+        /* Child never executed an event: the fork ordering still flows
+         * through the (empty) child into the join. */
+        Py_INCREF(parent);
+        if (PyDict_DelItem(c.pending_fork, tgt_obj) < 0 ||
+                join_core(h, parent) < 0) {
+            Py_DECREF(parent);
+            return NULL;
+        }
+        changed = join_core(p, parent);
+        Py_DECREF(parent);
+        if (changed < 0)
+            return NULL;
+        if (changed && list_set_obj(c.snap_ok, ti, Py_False) < 0)
+            return NULL;
+        if (bump_slot(c.fs, FS_JOINS, 2) < 0)
+            return NULL;
+    }
+    child_h = list_get(c.clock_a, (Py_ssize_t)ci);
+    if (child_h == NULL)
+        return NULL;
+    if (child_h != Py_None) {
+        PyObject *child_p = list_get(c.clock_b, (Py_ssize_t)ci);
+        if (child_p == NULL)
+            return NULL;
+        if (join_core(h, child_h) < 0)
+            return NULL;
+        changed = join_core(p, child_h);
+        if (changed < 0)
+            return NULL;
+        if (changed && list_set_obj(c.snap_ok, ti, Py_False) < 0)
+            return NULL;
+        if (bump_slot(c.fs, FS_JOINS, 2) < 0)
+            return NULL;
+        (void)child_p;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+k_acquire_dc(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    sync_ctx c;
+    Py_ssize_t eid;
+    PyObject *ti_obj, *t_obj, *li_obj, *values, *eid_obj, *q, *owner_obj;
+    long ti, li, owner;
+
+    if (sync_prologue(args, nargs, "acquire_dc", &c, &eid, &ti_obj, &ti,
+                      &t_obj, &li_obj, &li) < 0)
+        return NULL;
+    eid_obj = PyLong_FromSsize_t(eid);
+    if (eid_obj == NULL)
+        return NULL;
+    if (dc_advance(c.fs, c.clock_a, c.clock_b, c.pending_fork, c.snap_ok,
+                   c.ebuf, c.T, ti, ti_obj, t_obj, eid_obj, &values) < 0)
+        goto error;
+    q = lockq_lazy(c.queues, li, c.lockq_cls);
+    if (q == NULL || lockq_on_acquire(q, ti_obj, t_obj) < 0)
+        goto error;
+    /* No synchronisation-order join (DC departs from HB/WCP here);
+     * track single-ownership for the rule (b) skip. */
+    owner_obj = PyObject_GetAttr(q, str_owner);
+    if (owner_obj == NULL)
+        goto error;
+    owner = PyLong_AsLong(owner_obj);
+    Py_DECREF(owner_obj);
+    if (owner == -1 && PyErr_Occurred())
+        goto error;
+    if (owner != ti) {
+        if (owner == -1) {
+            if (PyObject_SetAttr(q, str_owner, ti_obj) < 0)
+                goto error;
+        }
+        else {
+            if (owner >= 0 &&
+                    bump_slot(c.fs, FS_LOCK_TRANSFERS, 1) < 0)
+                goto error;
+            if (PyObject_SetAttr(q, str_owner, long_neg2) < 0)
+                goto error;
+        }
+    }
+    Py_DECREF(eid_obj);
+    Py_RETURN_NONE;
+error:
+    Py_DECREF(eid_obj);
+    return NULL;
+}
+
+static PyObject *
+k_release_dc(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    sync_ctx c;
+    Py_ssize_t eid;
+    PyObject *ti_obj, *t_obj, *li_obj, *values, *eid_obj, *q, *attr;
+    PyObject *snapshot = NULL;
+    long ti, li, open_ti, owner;
+
+    if (sync_prologue(args, nargs, "release_dc", &c, &eid, &ti_obj, &ti,
+                      &t_obj, &li_obj, &li) < 0)
+        return NULL;
+    eid_obj = PyLong_FromSsize_t(eid);
+    if (eid_obj == NULL)
+        return NULL;
+    if (dc_advance(c.fs, c.clock_a, c.clock_b, c.pending_fork, c.snap_ok,
+                   c.ebuf, c.T, ti, ti_obj, t_obj, eid_obj, &values) < 0)
+        goto error;
+    q = list_get(c.queues, (Py_ssize_t)li);
+    if (q == NULL)
+        goto error;
+    if (q == Py_None)
+        goto unmatched;
+    attr = PyObject_GetAttr(q, str_open_ti);
+    if (attr == NULL)
+        goto error;
+    open_ti = PyLong_AsLong(attr);
+    Py_DECREF(attr);
+    if (open_ti == -1 && PyErr_Occurred())
+        goto error;
+    if (open_ti != ti)
+        goto unmatched;
+    attr = PyObject_GetAttr(q, str_owner);
+    if (attr == NULL)
+        goto error;
+    owner = PyLong_AsLong(attr);
+    Py_DECREF(attr);
+    if (owner == -1 && PyErr_Occurred())
+        goto error;
+    if (owner == ti) {
+        /* Ownership fast path: every record is the releasing thread's
+         * own, so the reference walk would join nothing. */
+        if (bump_slot(c.fs, FS_RULE_B_SKIPS, 1) < 0)
+            goto error;
+    }
+    else {
+        PyObject *cursors, *records, *srcs = NULL;
+        int joined;
+        cursors = lockq_cursors_for(q, ti_obj);
+        if (cursors == NULL)
+            goto error;
+        records = PyObject_GetAttr(q, str_records);
+        if (records == NULL) {
+            Py_DECREF(cursors);
+            goto error;
+        }
+        joined = rule_b_core(records, cursors, values,
+                             c.ebuf == NULL ? NULL : &srcs);
+        Py_DECREF(records);
+        Py_DECREF(cursors);
+        if (joined < 0) {
+            Py_XDECREF(srcs);
+            goto error;
+        }
+        if (joined && list_set_obj(c.snap_ok, ti, Py_False) < 0) {
+            Py_XDECREF(srcs);
+            goto error;
+        }
+        if (srcs != NULL) {
+            Py_ssize_t k, n = PyList_GET_SIZE(srcs);
+            for (k = 0; k < n; k++) {
+                if (ebuf_push(c.ebuf, PyList_GET_ITEM(srcs, k),
+                              eid_obj) < 0) {
+                    Py_DECREF(srcs);
+                    goto error;
+                }
+            }
+            if (n > 0 && bump_slot(c.fs, FS_GRAPH_EDGES, (long)n) < 0) {
+                Py_DECREF(srcs);
+                goto error;
+            }
+            Py_DECREF(srcs);
+        }
+    }
+    snapshot = PyList_GetSlice(values, 0, PyList_GET_SIZE(values));
+    if (snapshot == NULL)
+        goto error;
+    if (release_record_pending(&c, li, li_obj, ti, ti_obj, eid_obj,
+                               t_obj, snapshot) < 0)
+        goto error;
+    if (lockq_on_release(q, eid_obj, t_obj, snapshot) < 0)
+        goto error;
+    Py_DECREF(snapshot);
+    Py_DECREF(eid_obj);
+    return PyLong_FromLong(0);
+unmatched:
+    /* No matching acquire by this thread: the caller raises the
+     * reference MalformedTraceError (the clock advance above already
+     * happened, exactly as in the open-coded path). */
+    Py_DECREF(eid_obj);
+    return PyLong_FromLong(1);
+error:
+    Py_XDECREF(snapshot);
+    Py_DECREF(eid_obj);
+    return NULL;
+}
+
+static PyObject *
+k_fork_dc(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    sync_ctx c;
+    Py_ssize_t eid;
+    PyObject *ti_obj, *t_obj, *tgt_obj, *values, *eid_obj, *copy, *pair;
+    long ti, ci;
+
+    if (sync_prologue(args, nargs, "fork_dc", &c, &eid, &ti_obj, &ti,
+                      &t_obj, &tgt_obj, &ci) < 0)
+        return NULL;
+    eid_obj = PyLong_FromSsize_t(eid);
+    if (eid_obj == NULL)
+        return NULL;
+    if (dc_advance(c.fs, c.clock_a, c.clock_b, c.pending_fork, c.snap_ok,
+                   c.ebuf, c.T, ti, ti_obj, t_obj, eid_obj, &values) < 0) {
+        Py_DECREF(eid_obj);
+        return NULL;
+    }
+    copy = PyList_GetSlice(values, 0, PyList_GET_SIZE(values));
+    if (copy == NULL) {
+        Py_DECREF(eid_obj);
+        return NULL;
+    }
+    pair = PyTuple_Pack(2, eid_obj, copy);
+    Py_DECREF(copy);
+    Py_DECREF(eid_obj);
+    if (pair == NULL)
+        return NULL;
+    if (PyDict_SetItem(c.pending_fork, tgt_obj, pair) < 0) {
+        Py_DECREF(pair);
+        return NULL;
+    }
+    Py_DECREF(pair);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+k_join_dc(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    sync_ctx c;
+    Py_ssize_t eid;
+    PyObject *ti_obj, *t_obj, *tgt_obj, *values, *eid_obj;
+    PyObject *pending, *child_values;
+    long ti, ci;
+    int changed;
+
+    if (sync_prologue(args, nargs, "join_dc", &c, &eid, &ti_obj, &ti,
+                      &t_obj, &tgt_obj, &ci) < 0)
+        return NULL;
+    eid_obj = PyLong_FromSsize_t(eid);
+    if (eid_obj == NULL)
+        return NULL;
+    if (dc_advance(c.fs, c.clock_a, c.clock_b, c.pending_fork, c.snap_ok,
+                   c.ebuf, c.T, ti, ti_obj, t_obj, eid_obj, &values) < 0)
+        goto error;
+    pending = PyDict_GetItemWithError(c.pending_fork, tgt_obj);
+    if (pending == NULL) {
+        if (PyErr_Occurred())
+            goto error;
+    }
+    else {
+        /* Child never executed an event: the fork ordering still flows
+         * through the (empty) child into the join. */
+        if (!PyTuple_Check(pending) || PyTuple_GET_SIZE(pending) != 2) {
+            PyErr_SetString(PyExc_TypeError,
+                            "pending fork must be (eid, clock)");
+            goto error;
+        }
+        Py_INCREF(pending);
+        if (PyDict_DelItem(c.pending_fork, tgt_obj) < 0) {
+            Py_DECREF(pending);
+            goto error;
+        }
+        changed = join_core(values, PyTuple_GET_ITEM(pending, 1));
+        if (changed < 0) {
+            Py_DECREF(pending);
+            goto error;
+        }
+        if (changed && list_set_obj(c.snap_ok, ti, Py_False) < 0) {
+            Py_DECREF(pending);
+            goto error;
+        }
+        if (bump_slot(c.fs, FS_JOINS, 1) < 0) {
+            Py_DECREF(pending);
+            goto error;
+        }
+        if (c.ebuf != NULL &&
+                (ebuf_push(c.ebuf, PyTuple_GET_ITEM(pending, 0),
+                           eid_obj) < 0 ||
+                 bump_slot(c.fs, FS_GRAPH_EDGES, 1) < 0)) {
+            Py_DECREF(pending);
+            goto error;
+        }
+        Py_DECREF(pending);
+    }
+    child_values = list_get(c.clock_a, (Py_ssize_t)ci);
+    if (child_values == NULL)
+        goto error;
+    if (child_values != Py_None) {
+        PyObject *child_last_obj;
+        long child_last;
+        changed = join_core(values, child_values);
+        if (changed < 0)
+            goto error;
+        if (changed && list_set_obj(c.snap_ok, ti, Py_False) < 0)
+            goto error;
+        if (bump_slot(c.fs, FS_JOINS, 1) < 0)
+            goto error;
+        child_last_obj = list_get(c.clock_b, (Py_ssize_t)ci);
+        if (child_last_obj == NULL)
+            goto error;
+        child_last = PyLong_AsLong(child_last_obj);
+        if (child_last == -1 && PyErr_Occurred())
+            goto error;
+        if (child_last >= 0 && c.ebuf != NULL &&
+                (ebuf_push(c.ebuf, child_last_obj, eid_obj) < 0 ||
+                 bump_slot(c.fs, FS_GRAPH_EDGES, 1) < 0))
+            goto error;
+    }
+    Py_DECREF(eid_obj);
+    Py_RETURN_NONE;
+error:
+    Py_DECREF(eid_obj);
+    return NULL;
 }
 
 /* ------------------------------------------------------------------ */
@@ -1293,6 +2297,22 @@ static PyMethodDef kernel_methods[] = {
      "Fused EpochWCPDetector per-access fast path."},
     {"access_dc", (PyCFunction)(void (*)(void))k_access_dc, METH_FASTCALL,
      "Fused EpochDCDetector per-access fast path (graph building off)."},
+    {"acquire_wcp", (PyCFunction)(void (*)(void))k_acquire_wcp,
+     METH_FASTCALL, "Fused EpochWCPDetector on_acquire."},
+    {"release_wcp", (PyCFunction)(void (*)(void))k_release_wcp,
+     METH_FASTCALL, "Fused EpochWCPDetector on_release (returns status)."},
+    {"fork_wcp", (PyCFunction)(void (*)(void))k_fork_wcp,
+     METH_FASTCALL, "Fused EpochWCPDetector on_fork."},
+    {"join_wcp", (PyCFunction)(void (*)(void))k_join_wcp,
+     METH_FASTCALL, "Fused EpochWCPDetector on_join."},
+    {"acquire_dc", (PyCFunction)(void (*)(void))k_acquire_dc,
+     METH_FASTCALL, "Fused EpochDCDetector on_acquire."},
+    {"release_dc", (PyCFunction)(void (*)(void))k_release_dc,
+     METH_FASTCALL, "Fused EpochDCDetector on_release (returns status)."},
+    {"fork_dc", (PyCFunction)(void (*)(void))k_fork_dc,
+     METH_FASTCALL, "Fused EpochDCDetector on_fork."},
+    {"join_dc", (PyCFunction)(void (*)(void))k_join_dc,
+     METH_FASTCALL, "Fused EpochDCDetector on_join."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -1323,6 +2343,16 @@ PyInit__kernels(void)
     INTERN(str_xr_time, "xr_time");
     INTERN(str_xr_ev, "xr_ev");
     INTERN(str_xr_snap, "xr_snap");
+    INTERN(str_records, "records");
+    INTERN(str_cursors, "cursors");
+    INTERN(str_open_ti, "open_ti");
+    INTERN(str_open_rec, "open_rec");
 #undef INTERN
+    long_neg1 = PyLong_FromLong(-1);
+    if (long_neg1 == NULL)
+        return NULL;
+    long_neg2 = PyLong_FromLong(-2);
+    if (long_neg2 == NULL)
+        return NULL;
     return PyModule_Create(&kernels_module);
 }

@@ -48,6 +48,8 @@ __all__ = [
     "backends",
     "compiled_available",
     "set_backend",
+    "set_sync_fusion",
+    "sync_fusion_enabled",
     "join_into_list",
     "join_into_list_changed",
     "dominates_list",
@@ -59,8 +61,17 @@ __all__ = [
     "scan_racing_sparse",
     "source_join_into_sparse",
     "rule_b_fixpoint_sparse",
+    "drain_edges",
     "access_wcp",
     "access_dc",
+    "acquire_wcp",
+    "release_wcp",
+    "fork_wcp",
+    "join_wcp",
+    "acquire_dc",
+    "release_dc",
+    "fork_dc",
+    "join_dc",
 ]
 
 _K = TypeVar("_K")
@@ -322,6 +333,33 @@ def py_rule_b_fixpoint_sparse(records: Dict[Any, List[Any]],
     return new_sources
 
 
+def py_drain_edges(pairs: List[int],
+                   add_edge: Callable[[int, int], Any]) -> int:
+    """Drain a DC *edge buffer* into a constraint graph.
+
+    ``pairs`` is the flat append-ordered buffer the graph-building DC
+    detectors accumulate — ``[src0, dst0, src1, dst1, ...]`` — with one
+    (src, dst) pair per ``add_edge`` call the reference detector would
+    have made, in the reference's exact insertion order (every reference
+    edge is inserted while processing its destination event, and events
+    are processed in trace order, so a single append-ordered stream
+    reproduces it). Both backends append into the same plain list: the
+    Python detector paths via ``list.append`` and the fused compiled
+    kernels via C-side ``PyList_Append`` — a growable C array either
+    way, with no per-edge Python call on the compiled path.
+
+    Calls ``add_edge(src, dst)`` for every pair, clears the buffer, and
+    returns the number of pairs drained.
+    """
+    it = iter(pairs)
+    n = 0
+    for src, dst in zip(it, it):
+        add_edge(src, dst)
+        n += 1
+    pairs.clear()
+    return n
+
+
 # ----------------------------------------------------------------------
 # Backend selection
 # ----------------------------------------------------------------------
@@ -346,6 +384,7 @@ _COMPILED_NAMES: Tuple[str, ...] = (
 _PYTHON_ONLY_NAMES: Tuple[str, ...] = (
     "source_join_into_sparse",
     "rule_b_fixpoint_sparse",
+    "drain_edges",
 )
 
 #: Compiled-only *fused* kernels: one call executes the whole per-access
@@ -363,6 +402,30 @@ _FUSED_NAMES: Tuple[str, ...] = (
     "access_dc",
 )
 
+#: Compiled-only fused *sync-op* kernels: one call executes the whole
+#: ``on_acquire`` / ``on_release`` / ``on_fork`` / ``on_join`` body of an
+#: epoch detector — clock advance, rule (a)/(b) queue maintenance, CCS
+#: ownership-tag updates, H/P snapshot recording, and (for DC with the
+#: graph on) edge-buffer appends — against a per-trace sync context
+#: tuple.  Like the fused access kernels they bind to None under the
+#: python backend (the detectors' open-coded ``on_*`` methods are the
+#: reference these transcribe), and additionally when sync fusion is
+#: disabled via :func:`set_sync_fusion` (the A/B lever the composite
+#: benchmark uses to isolate the sync-op win from the access-only
+#: fused path).  The release kernels return a status int (0 — handled,
+#: 1 — no matching acquire) so the caller raises the exact exception
+#: the open-coded path would.
+_SYNC_NAMES: Tuple[str, ...] = (
+    "acquire_wcp",
+    "release_wcp",
+    "fork_wcp",
+    "join_wcp",
+    "acquire_dc",
+    "release_dc",
+    "fork_dc",
+    "join_dc",
+)
+
 _compiled_mod: Optional[Any]
 try:  # pragma: no cover - exercised only when the extension is built
     from repro.core import _kernels as _compiled_mod  # type: ignore[attr-defined]
@@ -370,6 +433,7 @@ except ImportError:  # pragma: no cover - default source checkout
     _compiled_mod = None
 
 _active = "python"
+_sync_fusion = True
 
 # Dispatched public bindings (rebound by set_backend; call through the
 # module attribute, never `from`-import these).
@@ -389,8 +453,22 @@ source_join_into_sparse: Callable[
     [Dict[Any, Tuple[int, int, Any]], Any, Any], List[int]]
 rule_b_fixpoint_sparse: Callable[
     [Dict[Any, List[Any]], Dict[Any, int], Any], List[int]]
+drain_edges: Callable[[List[int], Callable[[int, int], Any]], int]
 access_wcp: Optional[Callable[..., int]]
 access_dc: Optional[Callable[..., int]]
+acquire_wcp: Optional[Callable[..., Any]]
+release_wcp: Optional[Callable[..., int]]
+fork_wcp: Optional[Callable[..., Any]]
+join_wcp: Optional[Callable[..., Any]]
+acquire_dc: Optional[Callable[..., Any]]
+release_dc: Optional[Callable[..., int]]
+fork_dc: Optional[Callable[..., Any]]
+join_dc: Optional[Callable[..., Any]]
+
+
+#: Valid arguments to :func:`set_backend` (``"auto"`` resolves at
+#: bind time to ``"compiled"`` when available, else ``"python"``).
+BACKENDS = ("auto", "python", "compiled")
 
 
 def compiled_available() -> bool:
@@ -443,8 +521,35 @@ def set_backend(choice: str) -> str:
     for name in _FUSED_NAMES:
         g[name] = (getattr(_compiled_mod, name) if target == "compiled"
                    else None)
+    for name in _SYNC_NAMES:
+        g[name] = (getattr(_compiled_mod, name)
+                   if target == "compiled" and _sync_fusion else None)
     _active = target
     return target
+
+
+def set_sync_fusion(enabled: bool) -> bool:
+    """Enable or disable the fused sync-op kernels (compiled backend).
+
+    With fusion off the compiled backend keeps the fused *access*
+    kernels and the fine-grained clock kernels but routes
+    acquire/release/fork/join through the detectors' open-coded Python
+    paths — exactly the shape of the access-only fused backend this PR
+    extends.  The composite benchmark flips this to measure the sync-op
+    fusion win in isolation; results are bit-identical either way (the
+    open-coded paths are the reference the kernels transcribe).
+    Detectors consult the binding at ``begin_trace``, so flip this
+    between analyses, not mid-trace.  Returns the new setting.
+    """
+    global _sync_fusion
+    _sync_fusion = bool(enabled)
+    set_backend(_active)
+    return _sync_fusion
+
+
+def sync_fusion_enabled() -> bool:
+    """Whether the fused sync-op kernels may bind (compiled backend)."""
+    return _sync_fusion
 
 
 #: Environment override consulted once at import; the CLI's --kernels

@@ -62,6 +62,8 @@ def span_record(span: Span, depth: int) -> Dict[str, object]:
     }
     if span.counts:
         record["counts"] = dict(span.counts)
+    if span.tags:
+        record["tags"] = dict(span.tags)
     mem = span.memory_delta()
     if mem:
         record["memory"] = mem

@@ -167,6 +167,8 @@ _SPAN_TREE: Dict[str, object] = {
         "name": {"type": "string"},
         "elapsed_seconds": _NUMBER,
         "counts": _COUNTS,
+        "tags": {"type": "object",
+                 "additionalProperties": {"type": "string"}},
         "memory": _MEMORY,
         "children": {"type": "array", "items": {"$ref": "span_tree"}},
     },
@@ -202,6 +204,8 @@ SPAN_RECORD_SCHEMA: Dict[str, object] = {
         "elapsed_seconds": _NUMBER,
         "depth": {"type": "integer"},
         "counts": _COUNTS,
+        "tags": {"type": "object",
+                 "additionalProperties": {"type": "string"}},
         "memory": _MEMORY,
     },
 }

@@ -40,7 +40,7 @@ CloseHook = Callable[["Span", int], None]
 class Span:
     """One timed phase; a context manager wired to its tracer."""
 
-    __slots__ = ("name", "elapsed_seconds", "counts", "children",
+    __slots__ = ("name", "elapsed_seconds", "counts", "tags", "children",
                  "mem_before", "mem_after", "_start", "_tracer")
 
     def __init__(self, name: str, tracer: "Tracer") -> None:
@@ -48,6 +48,10 @@ class Span:
         self.elapsed_seconds = 0.0
         #: Free-form numeric annotations (event counts, sizes, ...).
         self.counts: Dict[str, Union[int, float]] = {}
+        #: Free-form string annotations (backend names, variants, ...),
+        #: kept apart from :attr:`counts` so the export schema can type
+        #: each channel.
+        self.tags: Dict[str, str] = {}
         self.children: List["Span"] = []
         self.mem_before: Optional[MemorySample] = None
         self.mem_after: Optional[MemorySample] = None
@@ -83,6 +87,10 @@ class Span:
         """Accumulate into a numeric annotation."""
         self.counts[key] = self.counts.get(key, 0) + amount
 
+    def tag(self, key: str, value: str) -> None:
+        """Attach a string annotation (overwrites)."""
+        self.tags[key] = value
+
     # ------------------------------------------------------------------
     # Derived values
     # ------------------------------------------------------------------
@@ -108,6 +116,8 @@ class Span:
         }
         if self.counts:
             out["counts"] = dict(self.counts)
+        if self.tags:
+            out["tags"] = dict(self.tags)
         mem = self.memory_delta()
         if mem:
             out["memory"] = mem
@@ -131,6 +141,8 @@ def span_from_dict(data: Dict[str, object], tracer: "Tracer") -> Span:
     span.elapsed_seconds = cast(float, data["elapsed_seconds"])
     counts = cast(Dict[str, Union[int, float]], data.get("counts") or {})
     span.counts = dict(counts)
+    tags = cast(Dict[str, str], data.get("tags") or {})
+    span.tags = dict(tags)
     children = cast(List[Dict[str, object]], data.get("children") or [])
     for child in children:
         span.children.append(span_from_dict(child, tracer))
@@ -156,6 +168,9 @@ class NullSpan:
         pass
 
     def count(self, key: str, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def tag(self, key: str, value: str) -> None:
         pass
 
 
@@ -261,9 +276,11 @@ class Tracer:
         def emit(span: Span, depth: int) -> None:
             label = "  " * depth + span.name
             pct = span.elapsed_seconds / total
-            extra = " ".join(
+            parts = [f"{k}={v}" for k, v in span.tags.items()]
+            parts.extend(
                 f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
                 for k, v in span.counts.items())
+            extra = " ".join(parts)
             mem = span.memory_delta()
             rss = mem.get("peak_rss_kb", 0)
             if rss:

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro import obs
+from repro.analysis import variants
 from repro.analysis.races import DynamicRace, RaceReport
 from repro.core import kernels
 from repro.core.events import Target
@@ -95,22 +96,29 @@ class AnalysisResult:
 
 def run_analysis(trace: Trace, *, jobs: int, transitive_force: bool,
                  prefilter: Optional[FrozenSet[Target]],
-                 variant: str = "reference") -> AnalysisResult:
+                 variant: "str | variants.VariantSpec" = "reference",
+                 ) -> AnalysisResult:
     """Run the three detectors concurrently over ``trace``.
 
     Results merge in the fixed order hb, wcp, dc; with observability on,
     each worker's metrics snapshot is merged and its span trees are
     grafted under the currently open span in that same order.
-    ``variant="fast"`` runs the epoch/dense-kernel WCP and DC detectors
-    (:mod:`repro.analysis.smarttrack`) — verdict-identical, faster.
+    ``variant`` is a name or a :class:`~repro.analysis.variants
+    .VariantSpec`: ``"fast"`` runs the epoch/dense-kernel WCP and DC
+    detectors (:mod:`repro.analysis.smarttrack`), ``"batch"`` the
+    vectorized interpreter — both verdict-identical. A spec's kernel
+    backend is applied here and shipped resolved to every worker, so
+    the pool never mixes kernel implementations.
     """
+    spec = variants.coerce(variant)
+    spec.apply()
     packed = pack(trace)
     obs_on = obs.enabled()
     with ProcessPoolExecutor(
             max_workers=min(3, jobs), mp_context=pool_context(),
             initializer=workers.init_analysis,
             initargs=(packed, transitive_force, prefilter, obs_on,
-                      variant, kernels.active_backend())) as pool:
+                      spec.variant, kernels.active_backend())) as pool:
         futures = [pool.submit(workers.run_detector, which)
                    for which in ("hb", "wcp", "dc")]
         payloads = [f.result() for f in futures]

@@ -25,12 +25,9 @@ from __future__ import annotations
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro import obs
-from repro.analysis.dc import DCDetector
-from repro.core import kernels
-from repro.analysis.hb import HBDetector
 from repro.analysis.races import DynamicRace
-from repro.analysis.smarttrack import EpochDCDetector, EpochWCPDetector
-from repro.analysis.wcp import WCPDetector
+from repro.analysis.variants import make_analysis_detector
+from repro.core import kernels
 from repro.core.events import Target
 from repro.core.trace import Trace
 from repro.graph.constraint_graph import ConstraintGraph
@@ -93,33 +90,15 @@ def run_detector(which: str) -> Dict[str, Any]:
     obs_on: bool = _STATE["obs_on"]
     variant = _STATE.get("variant", "reference")
     _obs_begin(obs_on)
-    detector: Any
-    if which == "hb":
-        # HB has no epoch variant here: FastTrack's racing_at is not
-        # equivalent, and HB is not the pipeline bottleneck.
-        detector = HBDetector(prefilter=_STATE["prefilter"])
-    elif which not in ("wcp", "dc"):  # pragma: no cover - driver bug
-        raise ValueError(f"unknown detector {which!r}")
-    elif variant == "batch":
-        # Imported lazily: the batch interpreter needs numpy, which the
-        # reference and epoch paths must not depend on.
-        from repro.analysis.batch import (BatchDCDetector, BatchWCPDetector,
-                                          seed_packed)
+    if variant == "batch" and which in ("wcp", "dc"):
         # Reuse the pool's packed encoding instead of re-packing.
+        from repro.analysis.batch import seed_packed
         seed_packed(trace, _STATE["packed"])
-        detector = (BatchWCPDetector(prefilter=_STATE["prefilter"])
-                    if which == "wcp"
-                    else BatchDCDetector(build_graph=True,
-                                         prefilter=_STATE["prefilter"]))
-    elif which == "wcp":
-        detector = (EpochWCPDetector(prefilter=_STATE["prefilter"])
-                    if variant == "fast"
-                    else WCPDetector(prefilter=_STATE["prefilter"]))
-    else:
-        detector = (
-            EpochDCDetector(build_graph=True, prefilter=_STATE["prefilter"])
-            if variant == "fast"
-            else DCDetector(build_graph=True, prefilter=_STATE["prefilter"]))
+    # HB always runs the reference detector (the factory enforces it):
+    # FastTrack's racing_at is not equivalent, and HB is not the
+    # pipeline bottleneck.
+    detector: Any = make_analysis_detector(which, variant,
+                                           prefilter=_STATE["prefilter"])
     detector.transitive_force = _STATE["transitive_force"]
     report = detector.analyze(trace)
     payload: Dict[str, Any] = {

@@ -24,6 +24,7 @@ import threading
 from multiprocessing.connection import Connection
 from typing import Any, Dict, List, Optional
 
+from repro.analysis.variants import VariantSpec
 from repro.core import kernels
 from repro.obs.schema import validate_serve_request, SchemaError
 from repro.parallel.engine import pool_context
@@ -175,16 +176,19 @@ class InlineShard:
 
 
 def _shard_main(conn: "Connection", index: int,
-                kernels_backend: str = "auto") -> None:
+                spec: Optional[VariantSpec] = None) -> None:
     """Forked worker loop: one request in, one response out, until the
     exit sentinel. Signals are the parent's job — the worker must keep
     serving drain requests while the parent handles SIGTERM."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
-    # Re-apply the daemon's resolved clock-kernel backend: under `spawn`
-    # the worker would otherwise re-resolve the env default, and a fleet
+    # Re-apply the daemon's resolved variant spec (streaming sessions
+    # are always the "reference" variant — batch cannot stream — so in
+    # practice this pins the clock-kernel backend): under `spawn` the
+    # worker would otherwise re-resolve the env default, and a fleet
     # must never silently mix kernel implementations.
-    kernels.set_backend(kernels_backend)
+    if spec is not None:
+        spec.apply()
     state = ShardState(checkpoint_dir=os.environ.get("TMPDIR", "/tmp"))
     while True:
         try:
@@ -218,7 +222,9 @@ class ProcessShard:
         self._lock = threading.Lock()
         self._proc = ctx.Process(target=_shard_main,
                                  args=(child_conn, index,
-                                       kernels.active_backend()),
+                                       VariantSpec(
+                                           "reference",
+                                           kernels.active_backend())),
                                  name=f"vindicator-shard-{index}",
                                  daemon=True)
         self._proc.start()

@@ -33,7 +33,8 @@ from repro.graph.reachability import ReachabilityIndex
 from repro.analysis.dc import DCDetector
 from repro.analysis.hb import HBDetector
 from repro.analysis.races import DynamicRace, RaceClass, RaceReport, classify
-from repro.analysis.smarttrack import EpochDCDetector, EpochWCPDetector
+from repro.analysis.variants import (VARIANTS as VARIANTS_TUPLE, VariantSpec,
+                                     coerce, make_analysis_detectors)
 from repro.analysis.wcp import WCPDetector
 from repro.obs.schema import ANALYZE_SCHEMA_ID
 from repro.static.lockset import LocksetResult, analyze_locksets, cross_check
@@ -359,13 +360,15 @@ class Vindicator:
             classification).
     """
 
-    VARIANTS = ("reference", "fast", "batch")
+    # Kept as a class attribute for callers that introspect the valid
+    # names; the canonical definition lives in repro.analysis.variants.
+    VARIANTS = VARIANTS_TUPLE
 
     def __init__(self, vindicate_all: bool = False, policy: str = "latest",
                  check_witnesses: bool = True, transitive_force: bool = True,
                  use_window: bool = False, prefilter: bool = False,
                  sanitize: bool = False, jobs: int = 1,
-                 variant: str = "reference"):
+                 variant: "str | VariantSpec" = "reference"):
         self.vindicate_all = vindicate_all
         self.policy = policy
         self.check_witnesses = check_witnesses
@@ -383,16 +386,22 @@ class Vindicator:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         #: Worker processes (1 = serial).
         self.jobs = jobs
-        if variant not in self.VARIANTS:
-            raise ValueError(
-                f"variant must be one of {', '.join(map(repr, self.VARIANTS))}"
-                f", got {variant!r}")
+        spec = coerce(variant)
+        #: The resolved variant × kernel-backend selection
+        #: (:class:`repro.analysis.variants.VariantSpec`). Accepts a bare
+        #: variant string for compatibility; a full spec additionally
+        #: pins the kernel backend, installed at :meth:`run` entry and
+        #: shipped to pool workers so the whole pipeline agrees.
+        self.variant_spec = spec
         #: Detector implementation: "reference", "fast" (epoch/dense),
         #: or "batch" (packed-columnar batched interpreter).
-        self.variant = variant
+        self.variant = spec.variant
 
     def run(self, trace: Trace) -> VindicatorReport:
         """Analyze ``trace`` end to end."""
+        # Install the spec's kernel backend before any detector binds
+        # its fused-kernel context (a no-op for a backend-less spec).
+        self.variant_spec.apply()
         with obs.span("pipeline.run") as pipeline_span:
             if self.jobs > 1:
                 report = self._run_parallel(trace, pipeline_span)
@@ -411,19 +420,8 @@ class Vindicator:
             lockset = analyze_locksets(trace.events)
             if self.prefilter:
                 candidates = lockset.race_candidates
-        hb = HBDetector(prefilter=candidates)
-        if self.variant == "fast":
-            wcp: WCPDetector = EpochWCPDetector(prefilter=candidates)  # type: ignore[assignment]
-            dc: DCDetector = EpochDCDetector(build_graph=True, prefilter=candidates)  # type: ignore[assignment]
-        elif self.variant == "batch":
-            # Imported lazily: only the batch interpreter needs numpy.
-            from repro.analysis.batch import (BatchDCDetector,
-                                              BatchWCPDetector)
-            wcp = BatchWCPDetector(prefilter=candidates)  # type: ignore[assignment]
-            dc = BatchDCDetector(build_graph=True, prefilter=candidates)  # type: ignore[assignment]
-        else:
-            wcp = WCPDetector(prefilter=candidates)
-            dc = DCDetector(build_graph=True, prefilter=candidates)
+        hb, wcp, dc = make_analysis_detectors(self.variant_spec,
+                                              prefilter=candidates)
         for detector in (hb, wcp, dc):
             detector.transitive_force = self.transitive_force
         start = time.perf_counter()
@@ -538,7 +536,7 @@ class Vindicator:
             analysis = engine.run_analysis(
                 trace, jobs=self.jobs,
                 transitive_force=self.transitive_force,
-                prefilter=candidates, variant=self.variant)
+                prefilter=candidates, variant=self.variant_spec)
             sp.annotate("events", len(trace))
             sp.annotate("jobs", min(3, self.jobs))
         hb_report, wcp_report, dc_report = analysis.hb, analysis.wcp, analysis.dc

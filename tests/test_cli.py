@@ -296,17 +296,32 @@ class TestVariantFlagMatrix:
         for line in keep:
             assert line in batched
 
-    @pytest.mark.parametrize("cmd", [
-        ["workload", "luindex"],
-        ["litmus", "figure2"],
-        ["analyze", "whatever.txt"],
-        ["profile", "luindex"],
-    ], ids=["workload", "litmus", "analyze", "profile"])
-    def test_fast_vc_and_batch_are_mutually_exclusive(self, cmd, capsys):
-        with pytest.raises(SystemExit) as exc:
-            main([*cmd, "--fast-vc", "--batch"])
-        assert exc.value.code == 2
-        assert "not allowed with" in capsys.readouterr().err
+    def test_fast_vc_and_batch_compose_to_batch(self, capsys):
+        # The flags are no longer mutually exclusive: batch subsumes
+        # fast-vc (repro.analysis.variants.resolve), so giving both is
+        # simply batch and must match the batch-only report.
+        def stable(out: str) -> list:
+            return [line for line in out.splitlines() if "ms)" not in line]
+
+        assert main(["litmus", "figure2", "--batch"]) == 0
+        batch_only = stable(capsys.readouterr().out)
+        assert main(["litmus", "figure2", "--fast-vc", "--batch"]) == 0
+        assert stable(capsys.readouterr().out) == batch_only
+
+    def test_variant_resolution_precedence(self):
+        from repro.analysis.variants import VariantSpec, resolve
+
+        assert resolve() == VariantSpec("reference", None)
+        assert resolve(fast_vc=True).variant == "fast"
+        assert resolve(batch=True).variant == "batch"
+        assert resolve(fast_vc=True, batch=True).variant == "batch"
+        assert resolve(variant="fast", batch=True).variant == "fast"
+        spec = resolve(batch=True, kernels_backend="python")
+        assert spec == VariantSpec("batch", "python")
+        with pytest.raises(ValueError):
+            resolve(variant="warp")
+        with pytest.raises(ValueError):
+            resolve(kernels_backend="fortran")
 
 
 class TestParser:

@@ -30,6 +30,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import kernels
+from repro.core.trace import TraceBuilder
 from repro.analysis.smarttrack import EpochDCDetector, EpochWCPDetector
 from repro.runtime import execute
 from repro.runtime.workloads import WORKLOADS
@@ -251,19 +252,170 @@ class TestFusedAccessKernels:
     def test_fused_kernel_actually_engages(self):
         # Guard against silently falling back to the open-coded path:
         # on a workload trace the compiled backend must route accesses
-        # through the fused kernel (visible as a bound _c_access).
+        # and sync ops through the fused kernels (visible as bound
+        # _c_access / _c_acquire / etc.).
         trace = execute(WORKLOADS["xalan"](scale=0.3), seed=3)
         kernels.set_backend("compiled")
         det = EpochDCDetector(build_graph=False)
         det.begin_trace(trace)
         assert det._c_access is _c.access_dc
+        assert det._c_acquire is _c.acquire_dc
+        assert det._c_release is _c.release_dc
+        assert det._c_fork is _c.fork_dc
+        assert det._c_join is _c.join_dc
         det_wcp = EpochWCPDetector()
         det_wcp.begin_trace(trace)
         assert det_wcp._c_access is _c.access_wcp
-        # The DC graph path stays open-coded (edges are Python-side).
+        assert det_wcp._c_acquire is _c.acquire_wcp
+        assert det_wcp._c_release is _c.release_wcp
+        assert det_wcp._c_fork is _c.fork_wcp
+        assert det_wcp._c_join is _c.join_wcp
+        # Since the edge buffer landed, DC+graph is fused too: edges
+        # are staged C-side and drained at finish().
         det_graph = EpochDCDetector(build_graph=True)
         det_graph.begin_trace(trace)
-        assert det_graph._c_access is None
+        assert det_graph._c_access is _c.access_dc
+        assert det_graph._c_release is _c.release_dc
+        assert det_graph._ctx[-1] is det_graph._ebuf
+        assert det_graph._sctx[16] is det_graph._ebuf
+
+    def test_sync_fusion_toggle_unbinds_sync_kernels(self):
+        # set_sync_fusion(False) is the A/B lever for benchmarking the
+        # sync-op fusion in isolation: access kernels stay bound, sync
+        # kernels fall back to the open-coded handlers.
+        trace = execute(WORKLOADS["xalan"](scale=0.3), seed=3)
+        kernels.set_backend("compiled")
+        try:
+            kernels.set_sync_fusion(False)
+            assert not kernels.sync_fusion_enabled()
+            det = EpochWCPDetector()
+            det.begin_trace(trace)
+            assert det._c_access is _c.access_wcp
+            assert det._c_acquire is None
+            assert det._c_release is None
+        finally:
+            kernels.set_sync_fusion(True)
+        assert kernels.acquire_wcp is _c.acquire_wcp
+
+
+# ----------------------------------------------------------------------
+# Adversarial lock churn: the sync-op kernels under hostile schedules
+# ----------------------------------------------------------------------
+# The random generator above reaches sync ops incidentally; these
+# builders construct traces that are *mostly* sync ops, each shaped to
+# stress one leg of the fused acquire/release/fork/join kernels: deep
+# nesting (lock_h/lock_p maintenance at many levels), release-heavy
+# streams (rule-(b) queue churn and cursor fixpoints), fork/join storms
+# (pending-fork tables and rule-(a) child edges), and ownership flips
+# (the DC exclusive-owner tag's fast/slow boundary). Critical sections
+# on one lock are emitted contiguously, so every trace is a valid
+# execution by construction.
+
+
+def _nested_trace(threads, locks, depth, rounds):
+    """Each thread repeatedly acquires a rotated stack of distinct
+    locks, touches shared state at the innermost level, and unwinds."""
+    b = TraceBuilder()
+    depth = min(depth, locks)
+    for r in range(rounds):
+        for t in range(1, threads + 1):
+            stack = [f"m{(r + t + i) % locks}" for i in range(depth)]
+            for lock in stack:
+                b.acq(t, lock)
+            b.wr(t, f"x{r % 2}")
+            b.rd(t, "y")
+            for lock in reversed(stack):
+                b.rel(t, lock)
+        b.wr(1 + (r % threads), "y")
+    return b.build()
+
+
+def _release_heavy_trace(threads, locks, sections):
+    """Many tiny critical sections round-robined across threads and
+    locks — the queue-maintenance worst case: every release runs the
+    rule-(b) scan over every other thread's history."""
+    b = TraceBuilder()
+    for i in range(sections):
+        t = 1 + (i % threads)
+        lock = f"m{i % locks}"
+        b.acq(t, lock)
+        if i % 3 == 0:
+            b.wr(t, f"v{i % 2}")
+        b.rel(t, lock)
+    b.rd(1, "v0")
+    return b.build()
+
+
+def _fork_join_storm(children, rounds):
+    """A root thread forks a wave of children, each doing a small
+    critical section plus shared writes, then joins the wave in
+    reverse order — pending-fork tables and rule-(a) edges dominate."""
+    b = TraceBuilder()
+    root = 1
+    tid = 2
+    for r in range(rounds):
+        wave = []
+        for _ in range(children):
+            child = tid
+            tid += 1
+            b.fork(root, child)
+            wave.append(child)
+        for child in wave:
+            b.acq(child, "m")
+            b.wr(child, "shared")
+            b.rel(child, "m")
+            b.end(child)
+        for child in reversed(wave):
+            b.join(root, child)
+        b.rd(root, "shared")
+    return b.build()
+
+
+def _ownership_flip_trace(exclusive_runs, flip_every):
+    """A lock monopolized by one thread (exclusive-owner fast path) is
+    periodically stolen by the other (ownership transfer), flipping the
+    DC owner tag between fast and slow release paths."""
+    b = TraceBuilder()
+    for run in range(exclusive_runs):
+        holder = 1 if (run // max(1, flip_every)) % 2 == 0 else 2
+        b.acq(holder, "hot")
+        b.wr(holder, "guarded")
+        b.rel(holder, "hot")
+    b.rd(1, "guarded")
+    b.rd(2, "guarded")
+    return b.build()
+
+
+class TestAdversarialLockChurn:
+    @SETTINGS
+    @given(threads=st.integers(1, 3), locks=st.integers(1, 4),
+           depth=st.integers(1, 4), rounds=st.integers(1, 5))
+    def test_deep_nested_acquires(self, threads, locks, depth, rounds):
+        trace = _nested_trace(threads, locks, depth, rounds)
+        assert (_epoch_results(trace, "python")
+                == _epoch_results(trace, "compiled"))
+
+    @SETTINGS
+    @given(threads=st.integers(1, 4), locks=st.integers(1, 3),
+           sections=st.integers(1, 40))
+    def test_release_heavy_streams(self, threads, locks, sections):
+        trace = _release_heavy_trace(threads, locks, sections)
+        assert (_epoch_results(trace, "python")
+                == _epoch_results(trace, "compiled"))
+
+    @SETTINGS
+    @given(children=st.integers(1, 5), rounds=st.integers(1, 4))
+    def test_fork_join_storms(self, children, rounds):
+        trace = _fork_join_storm(children, rounds)
+        assert (_epoch_results(trace, "python")
+                == _epoch_results(trace, "compiled"))
+
+    @SETTINGS
+    @given(exclusive_runs=st.integers(1, 24), flip_every=st.integers(1, 8))
+    def test_ownership_flips(self, exclusive_runs, flip_every):
+        trace = _ownership_flip_trace(exclusive_runs, flip_every)
+        assert (_epoch_results(trace, "python")
+                == _epoch_results(trace, "compiled"))
 
 
 # ----------------------------------------------------------------------
@@ -306,3 +458,56 @@ class TestVindicatorAcrossBackends:
             kernels.set_backend(backend)
             doc = Vindicator().run(trace).to_document()
             assert doc["kernels"]["backend"] == backend
+
+
+# ----------------------------------------------------------------------
+# Composite mode: --batch with the compiled kernels
+# ----------------------------------------------------------------------
+np = pytest.importorskip("numpy")
+
+
+class TestCompositeBatchAcrossBackends:
+    """The composed fast path: the batch planner's vectorized segments
+    stay numpy while its per-event replay segments dispatch to the
+    fused C kernels. Documents must stay bit-identical to both the
+    batch+python run and the plain reference run."""
+
+    @pytest.mark.parametrize("name", sorted(LITMUS))
+    def test_litmus(self, name):
+        trace = LITMUS[name]()
+        composite = _document(trace, "compiled", vindicate_all=True,
+                              variant="batch")
+        assert composite == _document(trace, "python", vindicate_all=True,
+                                      variant="batch")
+        assert composite == _document(trace, "python", vindicate_all=True)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workloads(self, name):
+        trace = execute(WORKLOADS[name](scale=0.3), seed=2)
+        composite = _document(trace, "compiled", prefilter=True,
+                              variant="batch")
+        assert composite == _document(trace, "python", prefilter=True,
+                                      variant="batch")
+        assert composite == _document(trace, "python", prefilter=True)
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), config=configs)
+    def test_random_traces(self, seed, config):
+        from repro.analysis.batch import BatchDCDetector, BatchWCPDetector
+
+        trace = random_trace(seed, config)
+
+        def results(backend):
+            kernels.set_backend(backend)
+            out = []
+            for det in (BatchWCPDetector(), BatchDCDetector(build_graph=True)):
+                report = det.analyze(trace)
+                edges = (list(det.graph.edges())
+                         if getattr(det, "build_graph", False) else None)
+                out.append((
+                    [(r.first.eid, r.second.eid) for r in report.races],
+                    dict(report.counters), dict(det.racing_at), edges,
+                ))
+            return out
+
+        assert results("python") == results("compiled")
